@@ -1,0 +1,431 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Accuracy
+// ablations report their mean error via b.ReportMetric (unit "s-err" or
+// "pct"), so a single -bench run shows both the cost and the quality of
+// each variant.
+package taxilight_test
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"taxilight/internal/core"
+	"taxilight/internal/dsp"
+	"taxilight/internal/experiments"
+	"taxilight/internal/lights"
+	"taxilight/internal/navigation"
+	"taxilight/internal/trace"
+)
+
+// sharedWorld lazily builds the default experiment world once; benches
+// iterate over the expensive stage only.
+var (
+	worldOnce sync.Once
+	world     *experiments.World
+	worldErr  error
+)
+
+func getWorld(b *testing.B) *experiments.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		world, worldErr = experiments.BuildWorld(experiments.DefaultWorldConfig())
+	})
+	if worldErr != nil {
+		b.Fatal(worldErr)
+	}
+	return world
+}
+
+// --- Fig. 2: trace statistics ---
+
+func BenchmarkFig2TraceStats(b *testing.B) {
+	w := getWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Summarize(w.Records, 600)
+	}
+}
+
+// --- Fig. 6: cycle length identification ---
+
+func fig6Samples(meanInterval float64) []dsp.Sample {
+	rng := rand.New(rand.NewSource(1))
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 11}
+	var out []dsp.Sample
+	t := rng.Float64() * meanInterval
+	for t < 3600 {
+		v := 35 + rng.NormFloat64()*8
+		if sched.StateAt(t) == lights.Red {
+			v = math.Max(0, 3+rng.NormFloat64()*3)
+		}
+		out = append(out, dsp.Sample{T: math.Floor(t), V: math.Max(0, v)})
+		t += meanInterval * (0.5 + rng.Float64())
+	}
+	return out
+}
+
+func BenchmarkFig6CycleDFT(b *testing.B) {
+	samples := fig6Samples(20)
+	cfg := core.DefaultCycleConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last, _ = core.IdentifyCycle(samples, 0, 3600, cfg)
+	}
+	b.ReportMetric(math.Abs(last-98), "s-err")
+}
+
+// --- Fig. 7: intersection-based enhancement ---
+
+func BenchmarkFig7Enhancement(b *testing.B) {
+	sched := lights.Schedule{Cycle: 98, Red: 49, Offset: 5}
+	rng := rand.New(rand.NewSource(2))
+	sparse := synthApproach(rng, sched, 1800, 60)
+	perp := synthApproach(rng, sched.Opposed(), 1800, 25)
+	cfg := core.DefaultCycleConfig()
+	cfg.MinSamples = 6
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.IdentifyCycleEnhanced(sparse, perp, 0, 1800, cfg)
+	}
+}
+
+func synthApproach(rng *rand.Rand, s lights.Schedule, horizon, meanInterval float64) []dsp.Sample {
+	var out []dsp.Sample
+	t := rng.Float64() * meanInterval
+	for t < horizon {
+		v := 35 + rng.NormFloat64()*8
+		if s.StateAt(t) == lights.Red {
+			v = math.Max(0, 3+rng.NormFloat64()*3)
+		}
+		out = append(out, dsp.Sample{T: math.Floor(t), V: math.Max(0, v)})
+		t += meanInterval * (0.5 + rng.Float64())
+	}
+	return out
+}
+
+// --- Fig. 9: red-light duration ---
+
+func fig9Stops(n int) []core.StopEvent {
+	rng := rand.New(rand.NewSource(3))
+	var out []core.StopEvent
+	for i := 0; i < n; i++ {
+		d := math.Max(2, rng.Float64()*63)
+		if rng.Float64() < 0.08 {
+			d = 63 + rng.Float64()*(1.8*106-63)
+		}
+		out = append(out, core.StopEvent{Plate: "B1", Start: float64(i) * 106, End: float64(i)*106 + d})
+	}
+	return out
+}
+
+func BenchmarkFig9RedDuration(b *testing.B) {
+	stops := fig9Stops(400)
+	cfg := core.DefaultRedConfig()
+	cfg.CadenceCorrection = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last, _ = core.IdentifyRed(stops, 106, cfg)
+	}
+	b.ReportMetric(math.Abs(last-63), "s-err")
+}
+
+// --- Fig. 10: data superposition ---
+
+func BenchmarkFig10Superposition(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	samples := synthApproach(rng, lights.Schedule{Cycle: 98, Red: 39}, 3600, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.Superpose(samples, 98, 0)
+	}
+}
+
+// --- Fig. 11: signal change identification ---
+
+func BenchmarkFig11SignalChange(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	raw := synthApproach(rng, lights.Schedule{Cycle: 98, Red: 39, Offset: 41}, 30*98, 20)
+	folded, err := core.Superpose(raw, 98, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var est core.ChangeEstimate
+	for i := 0; i < b.N; i++ {
+		est, _ = core.IdentifyChange(folded, 98, 39)
+	}
+	b.ReportMetric(core.PhaseError(est.GreenToRed, 41, 98), "s-err")
+}
+
+// --- Fig. 12: continuous monitoring / scheduling change detection ---
+
+func BenchmarkFig12Monitor(b *testing.B) {
+	// One day of 5-minute estimates with two plan switches and isolated
+	// gross outliers, fed through the streaming detector.
+	var series []core.CyclePoint
+	for t := 0.0; t < 86400; t += 300 {
+		cycle := 90.0
+		h := t / 3600
+		if (h >= 7 && h < 10) || (h >= 17 && h < 20) {
+			cycle = 150
+		}
+		if int(t) > 0 && int(t)%7200 == 300 {
+			cycle = 277 // DFT gross outlier
+		}
+		series = append(series, core.CyclePoint{T: t, Cycle: cycle})
+	}
+	cfg := core.DefaultMonitorConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var changes []core.SchedulingChange
+	for i := 0; i < b.N; i++ {
+		changes, _ = core.DetectSchedulingChanges(series, cfg)
+	}
+	b.ReportMetric(float64(len(changes)), "changes")
+}
+
+// --- Table II: partition sizes / imbalance ---
+
+func BenchmarkTable2(b *testing.B) {
+	cfg := experiments.DefaultWorldConfig()
+	cfg.Horizon = 900
+	cfg.Taxis = 150
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 13 / Fig. 14: the full identification pipeline ---
+
+func BenchmarkFig13Pipeline(b *testing.B) {
+	w := getWorld(b)
+	cfg := core.DefaultPipelineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunPipeline(w.Part, 0, w.Horizon, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14ErrorCDF(b *testing.B) {
+	cfg := experiments.DefaultWorldConfig()
+	cfg.Rows, cfg.Cols = 3, 3
+	cfg.Taxis = 150
+	cfg.Horizon = 1800
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errs, err := experiments.CollectFig14(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(errs.Cycle) == 0 {
+			b.Fatal("no errors collected")
+		}
+	}
+}
+
+// --- Fig. 16: navigation comparison ---
+
+func BenchmarkFig16Navigation(b *testing.B) {
+	net, err := navigation.BuildFig15Grid(navigation.DefaultFig15Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := navigation.DefaultCompareConfig()
+	cfg.TripsPerClass = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		pts, err := navigation.CompareNavigation(net, 1000, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = pts[len(pts)-1].SavingPct
+	}
+	b.ReportMetric(saving, "pct-saved")
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationInterp compares the three resampling strategies for
+// cycle identification; the s-err metric shows the accuracy cost.
+func BenchmarkAblationInterp(b *testing.B) {
+	samples := fig6Samples(25)
+	for _, v := range []struct {
+		name string
+		kind core.InterpKind
+	}{
+		{"Spline", core.InterpSpline},
+		{"Linear", core.InterpLinear},
+		{"Hold", core.InterpHold},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := core.DefaultCycleConfig()
+			cfg.Interp = v.kind
+			var last float64
+			for i := 0; i < b.N; i++ {
+				last, _ = core.IdentifyCycle(samples, 0, 3600, cfg)
+			}
+			b.ReportMetric(math.Abs(last-98), "s-err")
+		})
+	}
+}
+
+// BenchmarkAblationCandidates compares the paper's plain DFT argmax
+// (Candidates=1) against fold-verified candidate selection.
+func BenchmarkAblationCandidates(b *testing.B) {
+	w := getWorld(b)
+	for _, cands := range []int{1, 6} {
+		name := "Plain"
+		if cands > 1 {
+			name = "FoldVerified"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultPipelineConfig()
+			cfg.Cycle.Candidates = cands
+			var ok, total int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunPipeline(w.Part, 0, w.Horizon, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ok, total = 0, 0
+				for key, r := range res {
+					if r.Err != nil {
+						continue
+					}
+					truth := w.Net.Node(key.Light).Light.ScheduleFor(key.Approach, w.Horizon/2)
+					total++
+					if math.Abs(r.Cycle-truth.Cycle) <= 5 {
+						ok++
+					}
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(ok)/float64(total), "pct-cycle-ok")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRed compares the border-interval red estimator with
+// the naive longest-stop baseline on error-contaminated stop data.
+func BenchmarkAblationRed(b *testing.B) {
+	stops := fig9Stops(400)
+	b.Run("BorderInterval", func(b *testing.B) {
+		cfg := core.DefaultRedConfig()
+		cfg.CadenceCorrection = false
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last, _ = core.IdentifyRed(stops, 106, cfg)
+		}
+		b.ReportMetric(math.Abs(last-63), "s-err")
+	})
+	b.Run("NaiveMax", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last, _ = core.MaxStopDuration(stops, 106)
+		}
+		b.ReportMetric(math.Abs(last-63), "s-err")
+	})
+}
+
+// BenchmarkAblationSuperposition varies how many cycles are folded into
+// one before signal-change identification: more cycles, denser fold,
+// lower phase error.
+func BenchmarkAblationSuperposition(b *testing.B) {
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 41}
+	for _, cycles := range []int{3, 10, 30} {
+		b.Run(map[int]string{3: "3cycles", 10: "10cycles", 30: "30cycles"}[cycles], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			raw := synthApproach(rng, sched, float64(cycles)*98, 20)
+			var phaseErr float64
+			for i := 0; i < b.N; i++ {
+				folded, err := core.Superpose(raw, 98, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est, err := core.IdentifyChange(folded, 98, 39)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phaseErr = core.PhaseError(est.GreenToRed, 41, 98)
+			}
+			b.ReportMetric(phaseErr, "s-err")
+		})
+	}
+}
+
+// BenchmarkAblationCycleMethod compares the paper's spectral estimator
+// with the classical autocorrelation baseline on identical sparse input.
+func BenchmarkAblationCycleMethod(b *testing.B) {
+	samples := fig6Samples(20)
+	b.Run("DFT", func(b *testing.B) {
+		cfg := core.DefaultCycleConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last, _ = core.IdentifyCycle(samples, 0, 3600, cfg)
+		}
+		b.ReportMetric(math.Abs(last-98), "s-err")
+	})
+	b.Run("ACF", func(b *testing.B) {
+		cfg := core.DefaultCycleConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last, _ = core.IdentifyCycleACF(samples, 0, 3600, cfg)
+		}
+		b.ReportMetric(math.Abs(last-98), "s-err")
+	})
+	b.Run("LombScargle", func(b *testing.B) {
+		cfg := core.DefaultCycleConfig()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last, _ = core.IdentifyCycleLombScargle(samples, 0, 3600, cfg)
+		}
+		b.ReportMetric(math.Abs(last-98), "s-err")
+	})
+}
+
+// BenchmarkEndToEnd runs the capstone loop: identify every light from the
+// trace, then navigate with the identified schedules; the metric reports
+// what share of the perfect-knowledge saving the pipeline delivers.
+func BenchmarkEndToEnd(b *testing.B) {
+	cfg := experiments.DefaultEndToEndConfig()
+	cfg.World.Rows, cfg.World.Cols = 3, 3
+	cfg.World.Taxis = 150
+	cfg.World.Horizon = 1800
+	cfg.Trips = 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEndToEnd(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Baseline > res.Truth {
+			share = 100 * (res.Baseline - res.Identified) / (res.Baseline - res.Truth)
+		}
+	}
+	b.ReportMetric(share, "pct-of-perfect")
+}

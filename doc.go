@@ -1,0 +1,13 @@
+// Package taxilight reproduces "Exploiting Real-Time Traffic Light
+// Scheduling with Taxi Traces" (He et al., ICPP 2016): identification of
+// traffic-light cycle length, red/green split, signal change time and
+// scheduling changes from sparse, irregular taxi GPS traces.
+//
+// The implementation lives under internal/: geodesy (geo), statistics
+// (stats), DSP (dsp), the road network (roadnet), traffic-light models
+// (lights), a microscopic traffic simulator (trafficsim), the Table-I
+// trace format and generator (trace), map matching (mapmatch), the
+// identification pipeline (core), the navigation demo (navigation), and
+// the experiment harness regenerating every table and figure
+// (experiments). See README.md, DESIGN.md and EXPERIMENTS.md.
+package taxilight

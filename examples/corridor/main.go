@@ -1,0 +1,21 @@
+// Corridor: the community use case from the paper's introduction —
+// "transportation researchers can investigate the correlation between
+// traffic light scheduling and traffic flow, and then make optimization
+// accordingly." An arterial's light schedules are identified from taxi
+// traces alone; the corridor's coordination quality is measured; a
+// green-wave offset plan computed from the identified timing is
+// recommended and evaluated against the real lights.
+package main
+
+import (
+	"log"
+	"os"
+
+	"taxilight/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Corridor(os.Stdout, 1); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module taxilight
+
+go 1.22

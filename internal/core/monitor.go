@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"taxilight/internal/dsp"
+)
+
+// CyclePoint is one timestamped cycle-length estimate in the continuous
+// monitoring series (Fig. 12: one estimate every 5 minutes).
+type CyclePoint struct {
+	T     float64 // estimate time, seconds
+	Cycle float64 // estimated cycle length, seconds
+}
+
+// SchedulingChange is one detected scheduling-policy switch.
+type SchedulingChange struct {
+	// T is the detected change time (the first estimate on the new
+	// plateau), seconds.
+	T float64
+	// From and To are the plateau cycle lengths before and after.
+	From, To float64
+}
+
+// MonitorConfig tunes the scheduling-change detector.
+type MonitorConfig struct {
+	// Tolerance is the largest cycle-length deviation (seconds) still
+	// considered the same scheduling policy.
+	Tolerance float64
+	// Confirm is how many consecutive deviating estimates are needed to
+	// declare a scheduling change; isolated DFT outliers (the ~7 % gross
+	// errors of Fig. 14) never persist, so they are absorbed.
+	Confirm int
+	// MedianWindow is the size of the running-median prefilter (odd; 1
+	// disables it).
+	MedianWindow int
+}
+
+// DefaultMonitorConfig absorbs isolated estimation outliers while
+// confirming genuine plan switches within 3 estimates (15 minutes at the
+// paper's 5-minute cadence).
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{Tolerance: 8, Confirm: 3, MedianWindow: 3}
+}
+
+// Validate checks the configuration.
+func (c MonitorConfig) Validate() error {
+	switch {
+	case c.Tolerance <= 0:
+		return fmt.Errorf("core: non-positive tolerance %v", c.Tolerance)
+	case c.Confirm < 1:
+		return fmt.Errorf("core: Confirm %d < 1", c.Confirm)
+	case c.MedianWindow < 1 || c.MedianWindow%2 == 0:
+		return fmt.Errorf("core: MedianWindow %d must be odd and >= 1", c.MedianWindow)
+	}
+	return nil
+}
+
+// MedianFilter returns the running median of xs with the given odd window,
+// shrinking the window at the edges. It is the outlier prefilter used
+// before change-point detection.
+func MedianFilter(xs []float64, window int) []float64 {
+	if window <= 1 || len(xs) == 0 {
+		return append([]float64(nil), xs...)
+	}
+	half := window / 2
+	out := make([]float64, len(xs))
+	buf := make([]float64, 0, window)
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		buf = append(buf[:0], xs[lo:hi+1]...)
+		sort.Float64s(buf)
+		out[i] = buf[len(buf)/2]
+	}
+	return out
+}
+
+// DetectSchedulingChanges scans a chronological cycle-length series for
+// sustained plateau shifts. The series is median-prefiltered, then a
+// change is declared when Confirm consecutive estimates all deviate from
+// the current plateau by more than Tolerance while agreeing with each
+// other within Tolerance.
+func DetectSchedulingChanges(series []CyclePoint, cfg MonitorConfig) ([]SchedulingChange, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(series) == 0 {
+		return nil, nil
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].T < series[i-1].T {
+			return nil, fmt.Errorf("core: series not chronological at %d", i)
+		}
+	}
+	vals := make([]float64, len(series))
+	for i, p := range series {
+		vals[i] = p.Cycle
+	}
+	vals = MedianFilter(vals, cfg.MedianWindow)
+
+	var changes []SchedulingChange
+	plateau := vals[0]
+	run := 0       // consecutive deviating estimates
+	runStart := -1 // index of the first estimate of the run
+	for i := 1; i < len(vals); i++ {
+		if math.Abs(vals[i]-plateau) <= cfg.Tolerance {
+			run = 0
+			runStart = -1
+			continue
+		}
+		// Deviating. Does it continue the current run (agree with the
+		// run's first value)?
+		if run > 0 && math.Abs(vals[i]-vals[runStart]) > cfg.Tolerance {
+			// A different deviation: restart the run here.
+			run = 0
+		}
+		if run == 0 {
+			runStart = i
+		}
+		run++
+		if run >= cfg.Confirm {
+			newPlateau := medianOf(vals[runStart : runStart+run])
+			changes = append(changes, SchedulingChange{
+				T:    series[runStart].T,
+				From: plateau,
+				To:   newPlateau,
+			})
+			plateau = newPlateau
+			run = 0
+			runStart = -1
+		}
+	}
+	return changes, nil
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Monitor is the streaming form of the detector: feed one estimate at a
+// time (the pipeline produces one per light every 5 minutes) and collect
+// confirmed scheduling changes as they happen.
+type Monitor struct {
+	cfg     MonitorConfig
+	series  []CyclePoint
+	emitted int
+}
+
+// NewMonitor returns a streaming scheduling-change monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg}, nil
+}
+
+// Feed appends one estimate and returns any newly confirmed scheduling
+// changes.
+func (m *Monitor) Feed(p CyclePoint) []SchedulingChange {
+	m.series = append(m.series, p)
+	all, err := DetectSchedulingChanges(m.series, m.cfg)
+	if err != nil {
+		// Feeding out-of-order points is a caller bug; surface it loudly
+		// rather than silently dropping data.
+		panic(err)
+	}
+	if len(all) <= m.emitted {
+		return nil
+	}
+	fresh := all[m.emitted:]
+	m.emitted = len(all)
+	return fresh
+}
+
+// Series returns the full estimate series fed so far.
+func (m *Monitor) Series() []CyclePoint { return append([]CyclePoint(nil), m.series...) }
+
+// SlidingCycleSeries estimates the cycle length on a trailing window that
+// advances in fixed steps across [t0, t1] — the exact series Fig. 12
+// plots and Monitor consumes. Windows whose estimation fails (e.g. too
+// few samples at night) are skipped. The result is chronological.
+func SlidingCycleSeries(samples []dsp.Sample, t0, t1, window, step float64, cfg CycleConfig) ([]CyclePoint, error) {
+	if window <= 0 || step <= 0 || t1 < t0+window {
+		return nil, fmt.Errorf("core: bad sliding spec [%v, %v] window %v step %v", t0, t1, window, step)
+	}
+	var out []CyclePoint
+	for at := t0 + window; at <= t1; at += step {
+		est, err := IdentifyCycle(samples, at-window, at, cfg)
+		if err != nil {
+			continue
+		}
+		out = append(out, CyclePoint{T: at, Cycle: est})
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taxilight/internal/dsp"
+	"taxilight/internal/lights"
+)
+
+// synthSamplesForSliding builds a clean irregular speed trace for the
+// sliding-series test.
+func synthSamplesForSliding(s lights.Schedule, horizon float64) []dsp.Sample {
+	rng := rand.New(rand.NewSource(3))
+	var out []dsp.Sample
+	for t := rng.Float64() * 15; t < horizon; t += 15 * (0.5 + rng.Float64()) {
+		v := 35 + rng.NormFloat64()*8
+		if s.StateAt(t) == lights.Red {
+			v = math.Max(0, 3+rng.NormFloat64()*3)
+		}
+		out = append(out, dsp.Sample{T: math.Floor(t), V: math.Max(0, v)})
+	}
+	return out
+}
+
+func seriesFromPlan(plan []struct {
+	until float64
+	cycle float64
+}, step float64) []CyclePoint {
+	var out []CyclePoint
+	t := 0.0
+	for _, seg := range plan {
+		for ; t < seg.until; t += step {
+			out = append(out, CyclePoint{T: t, Cycle: seg.cycle})
+		}
+	}
+	return out
+}
+
+func TestMedianFilter(t *testing.T) {
+	xs := []float64{90, 90, 300, 90, 90} // one gross DFT outlier
+	out := MedianFilter(xs, 3)
+	if out[2] != 90 {
+		t.Fatalf("outlier survived: %v", out)
+	}
+	// window 1 = identity
+	id := MedianFilter(xs, 1)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Fatal("window-1 filter not identity")
+		}
+	}
+	if got := MedianFilter(nil, 3); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestMedianFilterDoesNotMutate(t *testing.T) {
+	xs := []float64{1, 100, 1}
+	MedianFilter(xs, 3)
+	if xs[1] != 100 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestDetectSchedulingChangesBasic(t *testing.T) {
+	// Off-peak 90 s until t=7200, peak 150 s until 14400, back to 90 s.
+	series := seriesFromPlan([]struct{ until, cycle float64 }{
+		{7200, 90}, {14400, 150}, {21600, 90},
+	}, 300)
+	changes, err := DetectSchedulingChanges(series, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v, want 2", changes)
+	}
+	if math.Abs(changes[0].T-7200) > 600 {
+		t.Fatalf("first change at %v, want ~7200", changes[0].T)
+	}
+	if changes[0].From != 90 || changes[0].To != 150 {
+		t.Fatalf("first change %v -> %v", changes[0].From, changes[0].To)
+	}
+	if math.Abs(changes[1].T-14400) > 600 || changes[1].To != 90 {
+		t.Fatalf("second change %+v", changes[1])
+	}
+}
+
+func TestDetectSchedulingChangesIgnoresOutliers(t *testing.T) {
+	series := seriesFromPlan([]struct{ until, cycle float64 }{{7200, 98}}, 300)
+	// Inject isolated gross errors (the ~7 % DFT failures of Fig. 14).
+	series[5].Cycle = 240
+	series[13].Cycle = 45
+	changes, err := DetectSchedulingChanges(series, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("outliers reported as changes: %+v", changes)
+	}
+}
+
+func TestDetectSchedulingChangesNoisyEstimates(t *testing.T) {
+	// Estimates jitter by +-3 s around each plateau; tolerance 8 s must
+	// absorb the jitter but still catch the 90 -> 150 switch.
+	series := seriesFromPlan([]struct{ until, cycle float64 }{
+		{7200, 90}, {14400, 150},
+	}, 300)
+	for i := range series {
+		series[i].Cycle += float64((i%7)-3) * 1.0
+	}
+	changes, err := DetectSchedulingChanges(series, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("changes = %+v, want exactly 1", changes)
+	}
+	if math.Abs(changes[0].To-150) > 5 {
+		t.Fatalf("new plateau %v, want ~150", changes[0].To)
+	}
+}
+
+func TestDetectSchedulingChangesValidation(t *testing.T) {
+	bad := []MonitorConfig{
+		{Tolerance: 0, Confirm: 3, MedianWindow: 3},
+		{Tolerance: 5, Confirm: 0, MedianWindow: 3},
+		{Tolerance: 5, Confirm: 3, MedianWindow: 2},
+		{Tolerance: 5, Confirm: 3, MedianWindow: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := DetectSchedulingChanges(nil, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// Non-chronological series rejected.
+	series := []CyclePoint{{T: 100, Cycle: 90}, {T: 50, Cycle: 90}}
+	if _, err := DetectSchedulingChanges(series, DefaultMonitorConfig()); err == nil {
+		t.Fatal("out-of-order series accepted")
+	}
+	// Empty series is fine.
+	out, err := DetectSchedulingChanges(nil, DefaultMonitorConfig())
+	if err != nil || out != nil {
+		t.Fatalf("empty series: %v, %v", out, err)
+	}
+}
+
+func TestMonitorStreaming(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []SchedulingChange
+	series := seriesFromPlan([]struct{ until, cycle float64 }{
+		{3600, 90}, {7200, 150},
+	}, 300)
+	for _, p := range series {
+		got = append(got, m.Feed(p)...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("streaming changes = %+v, want 1", got)
+	}
+	if math.Abs(got[0].T-3600) > 600 {
+		t.Fatalf("change at %v, want ~3600", got[0].T)
+	}
+	if n := len(m.Series()); n != len(series) {
+		t.Fatalf("Series len = %d, want %d", n, len(series))
+	}
+	// Feeding more stable points must not re-emit the same change.
+	extra := m.Feed(CyclePoint{T: 7500, Cycle: 150})
+	if len(extra) != 0 {
+		t.Fatalf("duplicate change emitted: %+v", extra)
+	}
+}
+
+func TestNewMonitorRejectsBadConfig(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func BenchmarkDetectSchedulingChanges(b *testing.B) {
+	series := seriesFromPlan([]struct{ until, cycle float64 }{
+		{86400, 90}, {2 * 86400, 150}, {3 * 86400, 90},
+	}, 300)
+	cfg := DefaultMonitorConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = DetectSchedulingChanges(series, cfg)
+	}
+}
+
+func TestSlidingCycleSeries(t *testing.T) {
+	// Clean synthetic speeds at a 98 s cycle: every window estimates ~98.
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 7}
+	series, err := SlidingCycleSeries(synthSamplesForSliding(sched, 7200), 0, 7200, 1800, 600, DefaultCycleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 8 {
+		t.Fatalf("series = %d points", len(series))
+	}
+	for i, p := range series {
+		if math.Abs(p.Cycle-98) > 5 {
+			t.Fatalf("point %d: cycle %v", i, p.Cycle)
+		}
+		if i > 0 && p.T <= series[i-1].T {
+			t.Fatal("series not chronological")
+		}
+	}
+	// Bad specs rejected.
+	if _, err := SlidingCycleSeries(nil, 0, 100, 0, 10, DefaultCycleConfig()); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := SlidingCycleSeries(nil, 0, 100, 1800, 10, DefaultCycleConfig()); err == nil {
+		t.Fatal("window beyond span accepted")
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"taxilight/internal/dsp"
+	"taxilight/internal/mapmatch"
+)
+
+// StopExtractConfig tunes stop-event extraction from matched records.
+type StopExtractConfig struct {
+	// MaxDisplacement is the largest planar movement (metres) between
+	// consecutive reports still counted as "the same position" — it must
+	// absorb GPS noise (Fig. 2(c): 42.66 % of pairs are stationary).
+	MaxDisplacement float64
+	// MaxGap is the largest time gap (seconds) between consecutive
+	// reports inside one stop run; beyond it the run is broken (the taxi
+	// may have driven a full loop between reports).
+	MaxGap float64
+	// MaxStopDist is the farthest distance from the stop line (metres)
+	// at which a stationary run still counts as queueing at the light.
+	MaxStopDist float64
+}
+
+// DefaultStopExtractConfig covers the default trace noise model.
+func DefaultStopExtractConfig() StopExtractConfig {
+	return StopExtractConfig{MaxDisplacement: 25, MaxGap: 130, MaxStopDist: 160}
+}
+
+// Validate checks the configuration.
+func (c StopExtractConfig) Validate() error {
+	if c.MaxDisplacement <= 0 || c.MaxGap <= 0 || c.MaxStopDist <= 0 {
+		return fmt.Errorf("core: non-positive stop-extraction parameter %+v", c)
+	}
+	return nil
+}
+
+// ExtractStops finds per-taxi stationary runs in one partition's matched
+// records (already time-sorted per mapmatch.Partition contract). A run is
+// a maximal sequence of consecutive reports from the same plate whose
+// pairwise displacement stays within MaxDisplacement — pairwise rather
+// than anchored, so taxis creeping forward as a queue discharges stay in
+// one run. A run is flagged as a passenger stop when the occupancy flag
+// flips inside the run or relative to the report just before it: the flip
+// happens when the taxi pulls over, i.e. before the stationary run's
+// first report, so the lookback is what actually catches kerbside dwells.
+func ExtractStops(ms []mapmatch.Matched, cfg StopExtractConfig) ([]StopEvent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	byPlate := make(map[string][]mapmatch.Matched)
+	for _, m := range ms {
+		byPlate[m.Rec.Plate] = append(byPlate[m.Rec.Plate], m)
+	}
+	plates := make([]string, 0, len(byPlate))
+	for p := range byPlate {
+		plates = append(plates, p)
+	}
+	sort.Strings(plates) // deterministic output order
+	var out []StopEvent
+	for _, plate := range plates {
+		rs := byPlate[plate]
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].T < rs[j].T })
+		i := 0
+		for i < len(rs) {
+			// Grow a stationary run starting at rs[i].
+			j := i + 1
+			occChanged := false
+			for j < len(rs) {
+				if rs[j].T-rs[j-1].T > cfg.MaxGap {
+					break
+				}
+				if rs[j].Snapped.Sub(rs[j-1].Snapped).Norm() > cfg.MaxDisplacement {
+					break
+				}
+				if rs[j].Rec.Occupied != rs[j-1].Rec.Occupied {
+					occChanged = true
+				}
+				j++
+			}
+			if j-i >= 2 {
+				// Lookback: occupancy flip between the previous report
+				// and the run start marks a pick-up/drop-off stop.
+				if i > 0 && rs[i].T-rs[i-1].T <= cfg.MaxGap &&
+					rs[i-1].Rec.Occupied != rs[i].Rec.Occupied {
+					occChanged = true
+				}
+				if rs[j-1].DistToStop <= cfg.MaxStopDist {
+					out = append(out, StopEvent{
+						Plate:            plate,
+						Start:            rs[i].T,
+						End:              rs[j-1].T,
+						OccupancyChanged: occChanged,
+						Records:          j - i,
+					})
+				}
+			}
+			if j == i+1 {
+				i++
+			} else {
+				i = j
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpeedSamples converts matched records into (time, speed km/h) samples
+// for the frequency-domain stages.
+func SpeedSamples(ms []mapmatch.Matched) []dsp.Sample {
+	out := make([]dsp.Sample, len(ms))
+	for i, m := range ms {
+		out[i] = dsp.Sample{T: m.T, V: m.Rec.SpeedKMH}
+	}
+	return out
+}
+
+// SpeedSamplesNear is SpeedSamples restricted to records within maxDist
+// metres of the stop line.
+func SpeedSamplesNear(ms []mapmatch.Matched, maxDist float64) []dsp.Sample {
+	out := make([]dsp.Sample, 0, len(ms))
+	for _, m := range ms {
+		if m.DistToStop <= maxDist {
+			out = append(out, dsp.Sample{T: m.T, V: m.Rec.SpeedKMH})
+		}
+	}
+	return out
+}
+
+// PipelineConfig configures the end-to-end per-light identification.
+type PipelineConfig struct {
+	Cycle CycleConfig
+	Red   RedConfig
+	Stops StopExtractConfig
+	// MaxSpeedDist keeps only records within this along-road distance
+	// (metres) of the stop line in the frequency-domain speed series.
+	// Records farther upstream are modulated by the *previous* light's
+	// discharge platoons and pull the DFT onto the wrong fundamental.
+	MaxSpeedDist float64
+	// RefineRed enables the joint red/phase refinement on the folded
+	// speed curve (RefineRedAndChange); when false the stop-duration
+	// estimate and the plain sliding-window change point are reported
+	// as-is, reproducing the paper's unrefined procedure.
+	RefineRed bool
+	// UseEnhancement enables the intersection-based enhancement: sparse
+	// approaches borrow mirrored samples from the perpendicular
+	// approach.
+	UseEnhancement bool
+	// EnhanceBelow is the sample count under which enhancement kicks in
+	// (dense approaches are left untouched, as in the paper).
+	EnhanceBelow int
+	// Workers bounds the per-light parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultPipelineConfig returns the configuration used by the
+// experiments.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Cycle:          DefaultCycleConfig(),
+		Red:            DefaultRedConfig(),
+		Stops:          DefaultStopExtractConfig(),
+		MaxSpeedDist:   120,
+		RefineRed:      true,
+		UseEnhancement: true,
+		EnhanceBelow:   60,
+		Workers:        0,
+	}
+}
+
+// Validate checks the configuration.
+func (c PipelineConfig) Validate() error {
+	if err := c.Cycle.Validate(); err != nil {
+		return err
+	}
+	if err := c.Red.Validate(); err != nil {
+		return err
+	}
+	if err := c.Stops.Validate(); err != nil {
+		return err
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	if c.EnhanceBelow < 0 {
+		return fmt.Errorf("core: negative EnhanceBelow %d", c.EnhanceBelow)
+	}
+	if c.MaxSpeedDist <= 0 {
+		return fmt.Errorf("core: non-positive MaxSpeedDist %v", c.MaxSpeedDist)
+	}
+	return nil
+}
+
+// Result is the identified schedule of one signal approach.
+type Result struct {
+	Key mapmatch.Key
+	// Cycle, Red and Green are the identified durations in seconds.
+	Cycle, Red, Green float64
+	// GreenToRedPhase and RedToGreenPhase are signal-change times as
+	// phases within [0, Cycle), measured from WindowStart.
+	GreenToRedPhase, RedToGreenPhase float64
+	// WindowStart/WindowEnd delimit the analysed window, seconds.
+	WindowStart, WindowEnd float64
+	// Records and Stops count the inputs that survived preprocessing.
+	Records, Stops int
+	// Enhanced reports whether the perpendicular-approach enhancement
+	// was applied.
+	Enhanced bool
+	// Quality is the fold score of the accepted cycle (adjusted R² of
+	// speed variance explained by the fold phase): near zero or negative
+	// means the "identified" cycle barely structures the data and the
+	// result should be treated as low confidence. Consumers such as the
+	// real-time engine can gate on it.
+	Quality float64
+	// Err is non-nil when identification failed for this approach; the
+	// other fields are then undefined.
+	Err error
+}
+
+// RunPipeline identifies the schedule of every signal approach present in
+// the partition over the window [t0, t1]. Approaches are processed by a
+// bounded worker pool — per-light identification is embarrassingly
+// parallel once the data is partitioned (Section IV). The result map has
+// one entry per input partition key.
+func RunPipeline(part mapmatch.Partition, t0, t1 float64, cfg PipelineConfig) (map[mapmatch.Key]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([]mapmatch.Key, 0, len(part))
+	for k := range part {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Light != keys[j].Light {
+			return keys[i].Light < keys[j].Light
+		}
+		return keys[i].Approach < keys[j].Approach
+	})
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Stop extraction is global (see BuildStopIndex) and shared,
+	// read-only, by all workers.
+	stopIdx, err := BuildStopIndex(part, cfg.Stops)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(keys))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = identifyOne(part, stopIdx, keys[i], t0, t1, cfg)
+			}
+		}()
+	}
+	for i := range keys {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	out := make(map[mapmatch.Key]Result, len(keys))
+	for i, k := range keys {
+		out[k] = results[i]
+	}
+	return out, nil
+}
+
+// identifyOne runs the full single-light procedure for one approach.
+func identifyOne(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig) Result {
+	ms := part[key]
+	res := Result{Key: key, WindowStart: t0, WindowEnd: t1, Records: len(ms)}
+
+	clean := stopIdx.FilterDwellRecords(ms)
+	primary := SpeedSamplesNear(clean, cfg.MaxSpeedDist)
+	var cycle float64
+	var err error
+	if cfg.UseEnhancement && len(windowed(primary, t0, t1)) < cfg.EnhanceBelow {
+		perp := SpeedSamplesNear(stopIdx.FilterDwellRecords(part[key.PerpendicularKey()]), cfg.MaxSpeedDist)
+		cycle, err = IdentifyCycleEnhanced(primary, perp, t0, t1, cfg.Cycle)
+		res.Enhanced = true
+	} else {
+		cycle, err = IdentifyCycle(primary, t0, t1, cfg.Cycle)
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("cycle: %w", err)
+		return res
+	}
+	res.Cycle = cycle
+	res.Quality = FoldScore(windowed(primary, t0, t1), cycle, t0)
+
+	stops := stopIdx.Stops(key)
+	res.Stops = len(stops)
+	red, err := IdentifyRed(stops, cycle, cfg.Red)
+	if err != nil {
+		res.Err = fmt.Errorf("red: %w", err)
+		return res
+	}
+	folded, err := Superpose(windowed(primary, t0, t1), cycle, t0)
+	if err != nil {
+		res.Err = fmt.Errorf("superpose: %w", err)
+		return res
+	}
+	var ch ChangeEstimate
+	if cfg.RefineRed {
+		red, ch, err = RefineRedAndChange(folded, cycle, red, 1.5*cfg.Red.SampleInterval)
+	} else {
+		ch, err = IdentifyChange(folded, cycle, red)
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("change: %w", err)
+		return res
+	}
+	res.Red = red
+	res.Green = cycle - red
+	res.GreenToRedPhase = ch.GreenToRed
+	res.RedToGreenPhase = ch.RedToGreen
+	return res
+}

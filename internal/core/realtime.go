@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+)
+
+// RealtimeConfig tunes the streaming engine.
+type RealtimeConfig struct {
+	Pipeline PipelineConfig
+	// Window is the trailing data window per estimate, seconds (the
+	// paper suggests "the past 30 minutes").
+	Window float64
+	// Interval is the re-estimation period, seconds (paper: 5 minutes).
+	Interval float64
+	// Monitor configures per-light scheduling-change detection.
+	Monitor MonitorConfig
+	// History, when UseHistory is set, corrects gross one-off estimates
+	// against the per-slot day-over-day median (Section VII).
+	History    HistoryConfig
+	UseHistory bool
+	// MinCoverage is the fraction of the window that must be covered by
+	// data before estimates are trusted enough to feed the
+	// scheduling-change monitors; start-up windows with little data
+	// produce unstable estimates that would otherwise register as
+	// spurious changes.
+	MinCoverage float64
+	// MinQuality gates the scheduling-change monitors on the estimate's
+	// fold score (Result.Quality): approaches whose accepted cycle
+	// barely structures the data flip between harmonics and would
+	// otherwise report phantom changes. Estimates below the gate are
+	// still published in Snapshot.
+	MinQuality float64
+}
+
+// DefaultRealtimeConfig matches the paper's cadence.
+func DefaultRealtimeConfig() RealtimeConfig {
+	return RealtimeConfig{
+		Pipeline:    DefaultPipelineConfig(),
+		Window:      1800,
+		Interval:    300,
+		Monitor:     DefaultMonitorConfig(),
+		History:     DefaultHistoryConfig(),
+		UseHistory:  true,
+		MinCoverage: 0.8,
+		MinQuality:  0.02,
+	}
+}
+
+// Validate checks the configuration.
+func (c RealtimeConfig) Validate() error {
+	if err := c.Pipeline.Validate(); err != nil {
+		return err
+	}
+	if c.Window <= 0 || c.Interval <= 0 || c.Interval > c.Window {
+		return fmt.Errorf("core: bad realtime cadence window=%v interval=%v", c.Window, c.Interval)
+	}
+	if err := c.Monitor.Validate(); err != nil {
+		return err
+	}
+	if c.UseHistory {
+		if err := c.History.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MinCoverage < 0 || c.MinCoverage > 1 {
+		return fmt.Errorf("core: MinCoverage %v outside [0, 1]", c.MinCoverage)
+	}
+	if c.MinQuality < 0 {
+		return fmt.Errorf("core: negative MinQuality %v", c.MinQuality)
+	}
+	return nil
+}
+
+// KeyedChange is a scheduling change attributed to one signal approach.
+type KeyedChange struct {
+	Key    mapmatch.Key
+	Change SchedulingChange
+}
+
+// Engine is the real-time identification service: matched records are
+// ingested as they arrive, and every Interval seconds of stream time the
+// per-approach schedules are re-identified over the trailing Window —
+// exactly the continuous operation of the paper's Fig. 4 system loop.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg RealtimeConfig
+
+	mu        sync.RWMutex
+	buf       mapmatch.Partition
+	now       float64
+	nextRun   float64
+	estimates map[mapmatch.Key]Result
+	monitors  map[mapmatch.Key]*Monitor
+	histories map[mapmatch.Key]*History
+}
+
+// NewEngine returns an idle engine.
+func NewEngine(cfg RealtimeConfig) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		buf:       mapmatch.Partition{},
+		estimates: map[mapmatch.Key]Result{},
+		monitors:  map[mapmatch.Key]*Monitor{},
+		histories: map[mapmatch.Key]*History{},
+	}, nil
+}
+
+// Ingest adds matched records to the stream buffers. Records may arrive
+// in any order; they are sorted per partition lazily at estimation time.
+func (e *Engine) Ingest(ms []mapmatch.Matched) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range ms {
+		k := mapmatch.Key{Light: m.Light, Approach: m.Approach}
+		e.buf[k] = append(e.buf[k], m)
+	}
+}
+
+// Advance moves the stream clock to t (seconds), running identification
+// for every due interval, and returns any newly confirmed scheduling
+// changes. Advancing backwards is a no-op.
+func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t <= e.now {
+		return nil, nil
+	}
+	e.now = t
+	if e.nextRun == 0 {
+		e.nextRun = t // first estimation happens at the first Advance past data
+	}
+	var out []KeyedChange
+	for e.nextRun <= e.now {
+		ch, err := e.estimateLocked(e.nextRun)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ch...)
+		e.nextRun += e.cfg.Interval
+	}
+	e.trimLocked()
+	return out, nil
+}
+
+// estimateLocked re-identifies every approach over [at-Window, at].
+func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
+	t0 := at - e.cfg.Window
+	view := mapmatch.Partition{}
+	earliest := math.Inf(1)
+	for k, ms := range e.buf {
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
+		e.buf[k] = ms
+		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= t0 })
+		hi := sort.Search(len(ms), func(i int) bool { return ms[i].T > at })
+		if hi > lo {
+			view[k] = ms[lo:hi]
+			if ms[lo].T < earliest {
+				earliest = ms[lo].T
+			}
+		}
+	}
+	// Monitors only see estimates from sufficiently covered windows.
+	covered := !math.IsInf(earliest, 1) && at-earliest >= e.cfg.MinCoverage*e.cfg.Window
+	results, err := RunPipeline(view, t0, at, e.cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	var out []KeyedChange
+	keys := make([]mapmatch.Key, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Light != keys[j].Light {
+			return keys[i].Light < keys[j].Light
+		}
+		return keys[i].Approach < keys[j].Approach
+	})
+	for _, k := range keys {
+		res := results[k]
+		if res.Err != nil {
+			continue
+		}
+		if e.cfg.UseHistory {
+			h := e.histories[k]
+			if h == nil {
+				h, err = NewHistory(e.cfg.History)
+				if err != nil {
+					return nil, err
+				}
+				e.histories[k] = h
+			}
+			if v, corrected := h.AddAndCorrect(at, res.Cycle); corrected {
+				res.Cycle = v
+				res.Green = v - res.Red
+			}
+		}
+		e.estimates[k] = res
+		if !covered || res.Quality < e.cfg.MinQuality {
+			continue
+		}
+		mon := e.monitors[k]
+		if mon == nil {
+			mon, err = NewMonitor(e.cfg.Monitor)
+			if err != nil {
+				return nil, err
+			}
+			e.monitors[k] = mon
+		}
+		for _, c := range mon.Feed(CyclePoint{T: at, Cycle: res.Cycle}) {
+			out = append(out, KeyedChange{Key: k, Change: c})
+		}
+	}
+	return out, nil
+}
+
+// trimLocked drops buffered records that can no longer enter any window.
+func (e *Engine) trimLocked() {
+	cutoff := e.now - 2*e.cfg.Window
+	for k, ms := range e.buf {
+		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= cutoff })
+		if lo > 0 {
+			e.buf[k] = append(ms[:0:0], ms[lo:]...)
+		}
+	}
+}
+
+// Snapshot returns a copy of the latest per-approach estimates.
+func (e *Engine) Snapshot() map[mapmatch.Key]Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[mapmatch.Key]Result, len(e.estimates))
+	for k, v := range e.estimates {
+		out[k] = v
+	}
+	return out
+}
+
+// StateOf answers the headline real-time question — is this approach red
+// or green at time t? — from the latest estimate. ok is false when the
+// approach has no estimate yet.
+func (e *Engine) StateOf(key mapmatch.Key, t float64) (lights.State, bool) {
+	e.mu.RLock()
+	res, ok := e.estimates[key]
+	e.mu.RUnlock()
+	if !ok || res.Cycle <= 0 {
+		return lights.Red, false
+	}
+	// The estimate anchors the red phase at WindowStart+GreenToRedPhase.
+	phase := math.Mod(t-(res.WindowStart+res.GreenToRedPhase), res.Cycle)
+	if phase < 0 {
+		phase += res.Cycle
+	}
+	if phase < res.Red {
+		return lights.Red, true
+	}
+	return lights.Green, true
+}
+
+// Now returns the engine's stream clock.
+func (e *Engine) Now() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.now
+}

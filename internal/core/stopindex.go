@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"taxilight/internal/mapmatch"
+)
+
+// StopIndex holds the stationary runs of an entire trace, extracted from
+// each taxi's full record timeline rather than per light. Global
+// extraction matters for the occupancy lookback: the passenger flag flips
+// while the taxi pulls over, i.e. on the record *before* the stationary
+// run, and that record is often matched to a different light — a
+// per-partition scan cannot see it and lets kerbside dwells masquerade as
+// red-light stops.
+type StopIndex struct {
+	stops map[mapmatch.Key][]StopEvent
+	// dwell maps plate -> sorted [start, end] intervals of runs flagged
+	// as passenger stops; records inside them are excluded from the
+	// frequency-domain speed series.
+	dwell map[string][][2]float64
+}
+
+// BuildStopIndex scans every record in the partition, reassembles the
+// per-plate timelines, extracts stationary runs (pairwise displacement,
+// as in ExtractStops) and assigns each run to the light controlling the
+// run's records. Runs whose occupancy flag flips inside the run or on
+// the lookback record are indexed as dwell intervals instead.
+func BuildStopIndex(part mapmatch.Partition, cfg StopExtractConfig) (*StopIndex, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	byPlate := make(map[string][]mapmatch.Matched)
+	for _, ms := range part {
+		for _, m := range ms {
+			byPlate[m.Rec.Plate] = append(byPlate[m.Rec.Plate], m)
+		}
+	}
+	plates := make([]string, 0, len(byPlate))
+	for p := range byPlate {
+		plates = append(plates, p)
+	}
+	sort.Strings(plates) // deterministic output order
+	idx := &StopIndex{
+		stops: make(map[mapmatch.Key][]StopEvent),
+		dwell: make(map[string][][2]float64),
+	}
+	for _, plate := range plates {
+		rs := byPlate[plate]
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].T < rs[j].T })
+		i := 0
+		for i < len(rs) {
+			j := i + 1
+			occChanged := false
+			for j < len(rs) {
+				if rs[j].T-rs[j-1].T > cfg.MaxGap {
+					break
+				}
+				if rs[j].Snapped.Sub(rs[j-1].Snapped).Norm() > cfg.MaxDisplacement {
+					break
+				}
+				if rs[j].Rec.Occupied != rs[j-1].Rec.Occupied {
+					occChanged = true
+				}
+				j++
+			}
+			if j-i >= 2 {
+				if i > 0 && rs[i].T-rs[i-1].T <= cfg.MaxGap &&
+					rs[i-1].Rec.Occupied != rs[i].Rec.Occupied {
+					occChanged = true
+				}
+				ev := StopEvent{
+					Plate:            plate,
+					Start:            rs[i].T,
+					End:              rs[j-1].T,
+					OccupancyChanged: occChanged,
+					Records:          j - i,
+				}
+				last := rs[j-1]
+				if occChanged {
+					idx.dwell[plate] = append(idx.dwell[plate], [2]float64{ev.Start, ev.End})
+				} else if last.DistToStop <= cfg.MaxStopDist {
+					key := mapmatch.Key{Light: last.Light, Approach: last.Approach}
+					idx.stops[key] = append(idx.stops[key], ev)
+				}
+			}
+			if j == i+1 {
+				i++
+			} else {
+				i = j
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Stops returns the red-light stop candidates attributed to one signal
+// approach, in deterministic order.
+func (si *StopIndex) Stops(key mapmatch.Key) []StopEvent { return si.stops[key] }
+
+// IsDwell reports whether the record of the given plate at time t falls
+// inside a flagged passenger-stop interval.
+func (si *StopIndex) IsDwell(plate string, t float64) bool {
+	iv := si.dwell[plate]
+	i := sort.Search(len(iv), func(i int) bool { return iv[i][1] >= t })
+	return i < len(iv) && iv[i][0] <= t
+}
+
+// FilterDwellRecords returns the matched records of ms that do not fall
+// inside a flagged dwell interval.
+func (si *StopIndex) FilterDwellRecords(ms []mapmatch.Matched) []mapmatch.Matched {
+	out := make([]mapmatch.Matched, 0, len(ms))
+	for _, m := range ms {
+		if !si.IsDwell(m.Rec.Plate, m.T) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

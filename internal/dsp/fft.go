@@ -1,0 +1,235 @@
+// Package dsp is the numeric/signal-processing substrate for taxilight.
+// The paper's cycle-length identifier needs a DFT over windows whose length
+// is an arbitrary number of seconds (e.g. 1800 or 3600), so the package
+// provides a radix-2 FFT for power-of-two sizes, a Bluestein chirp-z
+// transform for every other size, a naive reference DFT for testing, plus
+// cubic-spline interpolation, convolution and moving averages.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x:
+//
+//	X[k] = sum_{n=0}^{N-1} x[n] * exp(-2πi·kn/N)
+//
+// It dispatches to the radix-2 algorithm when len(x) is a power of two and
+// to Bluestein's algorithm otherwise. The input is not modified. An empty
+// input yields an empty output.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse DFT of x, normalised by 1/N so that
+// IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of length len(x).
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// DFTNaive is the O(N²) textbook transform, kept as a cross-check oracle
+// for the fast paths and for the ablation benchmarks.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// fftRadix2 computes an in-place iterative Cooley-Tukey FFT. len(x) must be
+// a power of two. If inverse is true the conjugate transform (no 1/N
+// normalisation) is computed.
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reducing it to a cyclic convolution of power-of-two length.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign·πi·k²/n); note k² mod 2n to keep the angle exact.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(k2) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	m := nextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	out := make([]complex128, n)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// Magnitudes returns |x[i]| for every element of the spectrum.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// DominantFrequency scans the one-sided spectrum magnitudes (bins
+// [minBin, N/2]) of a real signal of length n and returns the bin index
+// with the largest magnitude. minBin lets the caller skip the DC bin and
+// very-low-frequency drift, mirroring the paper's search over n in
+// [0, N/2] after detrending. It returns an error when the search range is
+// empty.
+func DominantFrequency(mags []float64, minBin int) (int, error) {
+	n := len(mags)
+	if n == 0 {
+		return 0, fmt.Errorf("dsp: empty spectrum")
+	}
+	hi := n / 2
+	if minBin < 0 {
+		minBin = 0
+	}
+	if minBin > hi {
+		return 0, fmt.Errorf("dsp: minBin %d beyond Nyquist bin %d", minBin, hi)
+	}
+	best, bestMag := minBin, mags[minBin]
+	for k := minBin; k <= hi; k++ {
+		if mags[k] > bestMag {
+			best, bestMag = k, mags[k]
+		}
+	}
+	return best, nil
+}
+
+// Detrend subtracts the mean from x in a new slice. Removing DC before the
+// DFT keeps bin 0 from masking the traffic-light fundamental.
+func Detrend(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	m := 0.0
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - m
+	}
+	return out
+}
+
+// HannWindow multiplies x by a Hann window in a new slice, reducing
+// spectral leakage when the window length is not an integer number of
+// cycles.
+func HannWindow(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = x[0]
+		return out
+	}
+	for i, v := range x {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		out[i] = v * w
+	}
+	return out
+}

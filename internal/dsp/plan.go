@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// FFTPlan owns the scratch buffers for repeated transforms of one fixed
+// length, eliminating the per-call allocations of FFT/FFTReal. The
+// continuous-monitoring loop transforms the same 1800- or 3600-sample
+// window every five minutes for every light in the city; with a plan the
+// hot loop allocates nothing.
+//
+// A plan is NOT safe for concurrent use; give each worker its own.
+type FFTPlan struct {
+	n       int
+	pow2    bool
+	buf     []complex128
+	mags    []float64
+	chirp   []complex128 // Bluestein chirp for non-power-of-two sizes
+	bwork   []complex128 // Bluestein convolution work buffers
+	bfilter []complex128
+	m       int
+}
+
+// NewFFTPlan prepares a plan for transforms of length n.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: plan length %d < 1", n)
+	}
+	p := &FFTPlan{n: n, pow2: n&(n-1) == 0}
+	p.buf = make([]complex128, n)
+	p.mags = make([]float64, n)
+	if !p.pow2 {
+		p.chirp = make([]complex128, n)
+		for k := 0; k < n; k++ {
+			k2 := (int64(k) * int64(k)) % int64(2*n)
+			ang := -3.141592653589793 * float64(k2) / float64(n)
+			p.chirp[k] = cmplx.Exp(complex(0, ang))
+		}
+		p.m = nextPow2(2*n - 1)
+		p.bwork = make([]complex128, p.m)
+		p.bfilter = make([]complex128, p.m)
+		// Precompute the FFT of the chirp filter once.
+		for i := range p.bfilter {
+			p.bfilter[i] = 0
+		}
+		for k := 0; k < n; k++ {
+			p.bfilter[k] = cmplx.Conj(p.chirp[k])
+		}
+		for k := 1; k < n; k++ {
+			p.bfilter[p.m-k] = cmplx.Conj(p.chirp[k])
+		}
+		fftRadix2(p.bfilter, false)
+	}
+	return p, nil
+}
+
+// N returns the transform length the plan was built for.
+func (p *FFTPlan) N() int { return p.n }
+
+// MagnitudesReal transforms the real signal x (len(x) must equal N) and
+// returns the magnitude spectrum. The returned slice is owned by the plan
+// and overwritten by the next call.
+func (p *FFTPlan) MagnitudesReal(x []float64) ([]float64, error) {
+	if len(x) != p.n {
+		return nil, fmt.Errorf("dsp: plan built for %d samples, got %d", p.n, len(x))
+	}
+	if p.pow2 {
+		for i, v := range x {
+			p.buf[i] = complex(v, 0)
+		}
+		fftRadix2(p.buf, false)
+		for i, v := range p.buf {
+			p.mags[i] = cmplx.Abs(v)
+		}
+		return p.mags, nil
+	}
+	// Bluestein with preallocated buffers and precomputed filter FFT.
+	for i := range p.bwork {
+		p.bwork[i] = 0
+	}
+	for k := 0; k < p.n; k++ {
+		p.bwork[k] = complex(x[k], 0) * p.chirp[k]
+	}
+	fftRadix2(p.bwork, false)
+	for i := range p.bwork {
+		p.bwork[i] *= p.bfilter[i]
+	}
+	fftRadix2(p.bwork, true)
+	invM := complex(1/float64(p.m), 0)
+	for k := 0; k < p.n; k++ {
+		p.mags[k] = cmplx.Abs(p.bwork[k] * invM * p.chirp[k])
+	}
+	return p.mags, nil
+}

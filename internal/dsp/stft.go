@@ -1,0 +1,78 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Spectrogram is the short-time Fourier transform magnitude of a signal:
+// Power[f][k] is the squared magnitude of frequency bin k in frame f.
+// It is the time-frequency view of the continuous monitoring problem —
+// a pre-programmed dynamic light shows up as a step in the dominant
+// frequency track (the Fig. 12 series seen from the frequency domain).
+type Spectrogram struct {
+	// Power[frame][bin], bins 0..SegLen/2.
+	Power [][]float64
+	// FrameStart[frame] is the first sample index of each frame.
+	FrameStart []int
+	// SegLen is the analysis window length in samples.
+	SegLen int
+	// Hop is the frame advance in samples.
+	Hop int
+}
+
+// STFT computes a Hann-windowed spectrogram with the given segment length
+// and hop. The final partial frame is dropped.
+func STFT(x []float64, segLen, hop int) (*Spectrogram, error) {
+	if segLen < 4 || segLen > len(x) {
+		return nil, fmt.Errorf("dsp: segment length %d outside [4, %d]", segLen, len(x))
+	}
+	if hop < 1 {
+		return nil, fmt.Errorf("dsp: hop %d < 1", hop)
+	}
+	sg := &Spectrogram{SegLen: segLen, Hop: hop}
+	for start := 0; start+segLen <= len(x); start += hop {
+		seg := HannWindow(Detrend(x[start : start+segLen]))
+		spec := FFTReal(seg)
+		row := make([]float64, segLen/2+1)
+		for k := range row {
+			m := cmplx.Abs(spec[k])
+			row[k] = m * m
+		}
+		sg.Power = append(sg.Power, row)
+		sg.FrameStart = append(sg.FrameStart, start)
+	}
+	if len(sg.Power) == 0 {
+		return nil, fmt.Errorf("dsp: no full frames")
+	}
+	return sg, nil
+}
+
+// DominantPeriodTrack returns, per frame, the period (samples per cycle)
+// of the strongest bin whose period lies in [minPeriod, maxPeriod]. A
+// frame with no bin in range yields 0.
+func (sg *Spectrogram) DominantPeriodTrack(minPeriod, maxPeriod float64) ([]float64, error) {
+	if minPeriod <= 0 || maxPeriod < minPeriod {
+		return nil, fmt.Errorf("dsp: bad period range [%v, %v]", minPeriod, maxPeriod)
+	}
+	kMin := int(float64(sg.SegLen)/maxPeriod + 0.999)
+	if kMin < 1 {
+		kMin = 1
+	}
+	kMax := int(float64(sg.SegLen) / minPeriod)
+	out := make([]float64, len(sg.Power))
+	for f, row := range sg.Power {
+		if kMin > kMax || kMax >= len(row) {
+			out[f] = 0
+			continue
+		}
+		best := kMin
+		for k := kMin; k <= kMax; k++ {
+			if row[k] > row[best] {
+				best = k
+			}
+		}
+		out[f] = float64(sg.SegLen) / float64(best)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"taxilight/internal/core"
+	"taxilight/internal/lights"
+	"taxilight/internal/navigation"
+	"taxilight/internal/roadnet"
+)
+
+// EndToEndConfig controls the capstone experiment: identify every light
+// from one hour of taxi traces, then navigate with the *identified*
+// schedules and compare against navigation with ground truth and against
+// the blind baseline.
+type EndToEndConfig struct {
+	World WorldConfig
+	Trips int
+	Seed  int64
+}
+
+// DefaultEndToEndConfig uses the standard world and 150 random trips.
+func DefaultEndToEndConfig() EndToEndConfig {
+	return EndToEndConfig{World: DefaultWorldConfig(), Trips: 150, Seed: 1}
+}
+
+// EndToEndResult aggregates the three navigation modes' mean realised
+// travel times.
+type EndToEndResult struct {
+	Baseline, Identified, Truth float64
+	Trips                       int
+	// IdentifiedApproaches / TotalApproaches report identification
+	// coverage of the network.
+	IdentifiedApproaches, TotalApproaches int
+}
+
+// RunEndToEnd performs the full loop: simulate traffic, sample it into
+// records, identify schedules, navigate with them, score against truth.
+func RunEndToEnd(cfg EndToEndConfig) (EndToEndResult, error) {
+	var out EndToEndResult
+	world, err := BuildWorld(cfg.World)
+	if err != nil {
+		return out, err
+	}
+	results, err := core.RunPipeline(world.Part, 0, world.Horizon, core.DefaultPipelineConfig())
+	if err != nil {
+		return out, err
+	}
+	identified := navigation.MapSource{}
+	for key, res := range results {
+		out.TotalApproaches++
+		if res.Err != nil {
+			continue
+		}
+		out.IdentifiedApproaches++
+		identified.Set(key.Light, key.Approach, lights.Schedule{
+			Cycle: res.Cycle,
+			Red:   res.Red,
+			// The identified red phase starts GreenToRedPhase seconds
+			// after the analysis window's origin.
+			Offset: res.WindowStart + res.GreenToRedPhase,
+		})
+	}
+
+	net := world.Net
+	baseline := &navigation.ShortestTimePlanner{Net: net}
+	believedID := &navigation.BelievedPlanner{Net: net, Source: identified}
+	believedTruth := &navigation.BelievedPlanner{Net: net, Source: navigation.TruthSource{Net: net}}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nn := net.NumNodes()
+	for i := 0; i < cfg.Trips; i++ {
+		src := roadnet.NodeID(rng.Intn(nn))
+		dst := roadnet.NodeID(rng.Intn(nn))
+		if src == dst {
+			i--
+			continue
+		}
+		// Depart shortly after the analysis window so the identified
+		// phases are fresh, as in live operation.
+		depart := world.Horizon + rng.Float64()*600
+		rb, err := navigation.Drive(net, baseline, src, dst, depart)
+		if err != nil {
+			return out, err
+		}
+		ri, err := navigation.Drive(net, believedID, src, dst, depart)
+		if err != nil {
+			return out, err
+		}
+		rt, err := navigation.Drive(net, believedTruth, src, dst, depart)
+		if err != nil {
+			return out, err
+		}
+		out.Baseline += rb.Duration
+		out.Identified += ri.Duration
+		out.Truth += rt.Duration
+		out.Trips++
+	}
+	if out.Trips > 0 {
+		out.Baseline /= float64(out.Trips)
+		out.Identified /= float64(out.Trips)
+		out.Truth /= float64(out.Trips)
+	}
+	return out, nil
+}
+
+// EndToEnd prints the capstone experiment: how much of the
+// perfect-knowledge navigation gain survives when the schedules come
+// from the identification pipeline instead of ground truth.
+func EndToEnd(w io.Writer, cfg EndToEndConfig) error {
+	res, err := RunEndToEnd(cfg)
+	if err != nil {
+		return err
+	}
+	section(w, "End-to-end — navigate with pipeline-identified schedules")
+	fmt.Fprintf(w, "approaches identified: %d/%d\n", res.IdentifiedApproaches, res.TotalApproaches)
+	fmt.Fprintf(w, "mean travel time over %d trips:\n", res.Trips)
+	fmt.Fprintf(w, "  blind baseline:            %7.1f s\n", res.Baseline)
+	fmt.Fprintf(w, "  identified schedules:      %7.1f s\n", res.Identified)
+	fmt.Fprintf(w, "  ground-truth schedules:    %7.1f s\n", res.Truth)
+	if res.Baseline > 0 {
+		gainID := 100 * (res.Baseline - res.Identified) / res.Baseline
+		gainTruth := 100 * (res.Baseline - res.Truth) / res.Baseline
+		fmt.Fprintf(w, "saving vs baseline: identified %.1f%%, perfect knowledge %.1f%%\n", gainID, gainTruth)
+		if gainTruth > 0 {
+			fmt.Fprintf(w, "the identification pipeline delivers %.0f%% of the perfect-knowledge gain\n",
+				100*gainID/gainTruth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"taxilight/internal/core"
+	"taxilight/internal/trafficsim"
+)
+
+func smallWorld() WorldConfig {
+	cfg := DefaultWorldConfig()
+	cfg.Rows, cfg.Cols = 3, 3
+	cfg.Taxis = 120
+	cfg.Horizon = 1800
+	return cfg
+}
+
+func TestBuildWorldDeterministic(t *testing.T) {
+	a, err := BuildWorld(smallWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorld(smallWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf, smallWorld()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "records:") {
+		t.Fatalf("unexpected output: %q", out[:min(200, len(out))])
+	}
+}
+
+func TestFig2Runs(t *testing.T) {
+	cfg := smallWorld()
+	cfg.Horizon = 7200
+	var buf bytes.Buffer
+	if err := Fig2(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 2(a)", "Fig. 2(b)", "Fig. 2(c)", "Fig. 2(d)", "stationary share"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+}
+
+func TestSingleLightFigsRun(t *testing.T) {
+	var buf bytes.Buffer
+	for name, fn := range map[string]func(*testing.T){
+		"fig6":  func(t *testing.T) { mustNil(t, Fig6(&buf, 1)) },
+		"fig7":  func(t *testing.T) { mustNil(t, Fig7(&buf, 1)) },
+		"fig9":  func(t *testing.T) { mustNil(t, Fig9(&buf, 1)) },
+		"fig10": func(t *testing.T) { mustNil(t, Fig10(&buf, 1)) },
+		"fig11": func(t *testing.T) { mustNil(t, Fig11(&buf, 1)) },
+	} {
+		t.Run(name, fn)
+	}
+	if !strings.Contains(buf.String(), "border-interval estimate") {
+		t.Fatal("fig9 output missing")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full world")
+	}
+	var buf bytes.Buffer
+	if err := Table2(&buf, DefaultWorldConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ShenNan/WenJin") || !strings.Contains(out, "imbalance") {
+		t.Fatalf("Table II output incomplete")
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	var buf bytes.Buffer
+	if err := Fig13(&buf, DefaultWorldConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean errors") {
+		t.Fatal("Fig. 13 output incomplete")
+	}
+}
+
+func TestCollectFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline, multiple runs")
+	}
+	cfg := smallWorld()
+	cfg.Horizon = 3600
+	errs, err := CollectFig14(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs.Cycle) < 20 {
+		t.Fatalf("only %d cycle errors collected", len(errs.Cycle))
+	}
+	if len(errs.Cycle) != len(errs.Red) || len(errs.Red) != len(errs.Change) {
+		t.Fatal("error series lengths differ")
+	}
+	// Fig. 14 bimodality: a majority of cycle errors tiny.
+	small := 0
+	for _, e := range errs.Cycle {
+		if e <= 5 {
+			small++
+		}
+	}
+	if small*3 < len(errs.Cycle)*2 {
+		t.Fatalf("cycle errors <= 5 s: %d/%d, want a clear majority", small, len(errs.Cycle))
+	}
+}
+
+func TestFig16Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("navigation sweep")
+	}
+	var buf bytes.Buffer
+	if err := Fig16(&buf, 5, 5, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "overall saving") {
+		t.Fatal("Fig. 16 output incomplete")
+	}
+}
+
+func TestFig12BadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig12(&buf, Fig12Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func mustNil(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEndToEndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full end-to-end loop")
+	}
+	cfg := DefaultEndToEndConfig()
+	cfg.World = smallWorld()
+	cfg.World.Horizon = 3600
+	cfg.Trips = 60
+	res, err := RunEndToEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trips != 60 {
+		t.Fatalf("trips = %d", res.Trips)
+	}
+	if res.IdentifiedApproaches == 0 {
+		t.Fatal("nothing identified")
+	}
+	// Truth-schedule navigation is the lower bound; identified must
+	// recover a meaningful share of its gain and never be (meaningfully)
+	// worse than the blind baseline.
+	if res.Truth > res.Identified+1 {
+		t.Fatalf("truth (%v) slower than identified (%v)?", res.Truth, res.Identified)
+	}
+	if res.Identified > res.Baseline*1.02 {
+		t.Fatalf("identified (%v) worse than baseline (%v)", res.Identified, res.Baseline)
+	}
+}
+
+func TestFig14CompareRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline sweeps")
+	}
+	cfg := smallWorld()
+	cfg.Horizon = 3600
+	var buf bytes.Buffer
+	if err := Fig14Compare(&buf, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "paper mode") || !strings.Contains(out, "extended") {
+		t.Fatalf("comparison output incomplete: %q", out)
+	}
+}
+
+func TestPaperModePipelineConfig(t *testing.T) {
+	cfg := PaperModePipelineConfig()
+	if cfg.Cycle.Candidates != 1 || cfg.RefineRed || cfg.Red.CadenceCorrection {
+		t.Fatalf("paper mode config wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepDensityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-density sweep")
+	}
+	var buf bytes.Buffer
+	if err := SweepDensity(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "320") {
+		t.Fatal("sweep output incomplete")
+	}
+}
+
+func TestPipelineRobustToBackgroundTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	cfg := smallWorld()
+	cfg.Horizon = 3600
+	cfg.SimOverride = func(s *trafficsim.Config) { s.BackgroundRate = 0.15 }
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.RunPipeline(world.Part, 0, world.Horizon, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, total := 0, 0
+	for key, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		total++
+		truth := world.Net.Node(key.Light).Light.ScheduleFor(key.Approach, 1800)
+		if math.Abs(res.Cycle-truth.Cycle) <= 5 {
+			ok++
+		}
+	}
+	if total < 10 {
+		t.Fatalf("only %d approaches identified", total)
+	}
+	if ok*3 < total*2 {
+		t.Fatalf("cycle accuracy under background traffic: %d/%d", ok, total)
+	}
+}
+
+func TestCorridorRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	var buf bytes.Buffer
+	if err := Corridor(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "green-wave retiming") {
+		t.Fatalf("corridor output incomplete")
+	}
+}
+
+func TestFig12SpectrogramBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig12Spectrogram(&buf, Fig12Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	cfg := smallWorld()
+	var buf bytes.Buffer
+	if err := Scaling(&buf, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("scaling output incomplete")
+	}
+	if err := Scaling(&buf, cfg, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}

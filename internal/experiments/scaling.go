@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"taxilight/internal/core"
+)
+
+// Scaling measures the parallel speedup of the identification pipeline
+// over worker counts — the paper's ICPP claim that partitioning by
+// traffic light makes identification "easily paralleled", made
+// measurable. Each worker count runs the identical workload; the table
+// reports wall time and speedup over one worker.
+func Scaling(w io.Writer, cfg WorldConfig, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("experiments: reps %d < 1", reps)
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+	section(w, "Parallel scaling — pipeline wall time vs worker count")
+	fmt.Fprintf(w, "workload: %d records, %d signal approaches, %d repetitions each, GOMAXPROCS=%d\n",
+		len(world.Records), len(world.Part), reps, runtime.GOMAXPROCS(0))
+	var baseline time.Duration
+	fmt.Fprintf(w, "%-9s %-12s %s\n", "workers", "wall time", "speedup")
+	// Sweep beyond the core count too: oversubscription must not hurt
+	// (the workers block on channel receive, not spin).
+	maxWorkers := 2 * runtime.GOMAXPROCS(0)
+	if maxWorkers < 8 {
+		maxWorkers = 8
+	}
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		pcfg := core.DefaultPipelineConfig()
+		pcfg.Workers = workers
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := core.RunPipeline(world.Part, 0, world.Horizon, pcfg); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start) / time.Duration(reps)
+		if workers == 1 {
+			baseline = elapsed
+		}
+		speedup := float64(baseline) / float64(elapsed)
+		fmt.Fprintf(w, "%-9d %-12s %.2fx\n", workers, elapsed.Round(time.Millisecond), speedup)
+	}
+	fmt.Fprintf(w, "(speedup is bounded by GOMAXPROCS = %d on this machine)\n", runtime.GOMAXPROCS(0))
+	return nil
+}

@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolylineLengthAndAt(t *testing.T) {
+	p := Polyline{{0, 0}, {100, 0}, {100, 100}}
+	if l := p.Length(); math.Abs(l-200) > 1e-9 {
+		t.Fatalf("Length = %v", l)
+	}
+	if q := p.At(0); q != (XY{0, 0}) {
+		t.Fatalf("At(0) = %v", q)
+	}
+	if q := p.At(1); q != (XY{100, 100}) {
+		t.Fatalf("At(1) = %v", q)
+	}
+	if q := p.At(0.25); q != (XY{50, 0}) {
+		t.Fatalf("At(0.25) = %v", q)
+	}
+	if q := p.At(0.75); q != (XY{100, 50}) {
+		t.Fatalf("At(0.75) = %v", q)
+	}
+}
+
+func TestPolylineDegenerate(t *testing.T) {
+	if (Polyline{}).Length() != 0 {
+		t.Fatal("empty length")
+	}
+	if (Polyline{}).At(0.5) != (XY{}) {
+		t.Fatal("empty At")
+	}
+	one := Polyline{{3, 4}}
+	if one.At(0.7) != (XY{3, 4}) {
+		t.Fatal("single-point At")
+	}
+	dup := Polyline{{1, 1}, {1, 1}}
+	if dup.Length() != 0 {
+		t.Fatal("duplicate-point length")
+	}
+	_ = dup.At(0.5) // must not divide by zero
+}
+
+func TestSimplifyStraightLine(t *testing.T) {
+	var p Polyline
+	for i := 0; i <= 100; i++ {
+		p = append(p, XY{X: float64(i), Y: 0})
+	}
+	s := p.Simplify(0.5)
+	if len(s) != 2 {
+		t.Fatalf("straight line simplified to %d points, want 2", len(s))
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	p := Polyline{{0, 0}, {50, 0.1}, {100, 0}, {100, 50}, {100, 100}}
+	s := p.Simplify(1)
+	// The right-angle corner at (100, 0) must survive.
+	found := false
+	for _, q := range s {
+		if q == (XY{100, 0}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corner dropped: %v", s)
+	}
+	// The 0.1 m wiggle at (50, 0.1) must be removed.
+	for _, q := range s {
+		if q == (XY{50, 0.1}) {
+			t.Fatalf("sub-tolerance wiggle kept: %v", s)
+		}
+	}
+}
+
+func TestSimplifyToleranceProperty(t *testing.T) {
+	// Every removed vertex stays within tolerance of the simplified shape.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Polyline
+		x := 0.0
+		for i := 0; i < 40; i++ {
+			x += rng.Float64() * 50
+			p = append(p, XY{X: x, Y: rng.NormFloat64() * 20})
+		}
+		tol := 1 + rng.Float64()*10
+		s := p.Simplify(tol)
+		if len(s) < 2 || s[0] != p[0] || s[len(s)-1] != p[len(p)-1] {
+			return false
+		}
+		for _, q := range p {
+			best := math.Inf(1)
+			for i := 1; i < len(s); i++ {
+				seg := Segment{A: s[i-1], B: s[i]}
+				if d := seg.DistanceTo(q); d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyNoToleranceCopies(t *testing.T) {
+	p := Polyline{{0, 0}, {1, 1}, {2, 0}}
+	s := p.Simplify(0)
+	if len(s) != 3 {
+		t.Fatalf("zero tolerance changed the shape: %v", s)
+	}
+	s[0].X = 99
+	if p[0].X == 99 {
+		t.Fatal("Simplify returned aliased storage")
+	}
+}

@@ -1,0 +1,70 @@
+package lights_test
+
+import (
+	"fmt"
+
+	"taxilight/internal/lights"
+)
+
+func ExampleSchedule_StateAt() {
+	// The Fig. 10 light: 98 s cycle, 39 s red (red runs first).
+	s := lights.Schedule{Cycle: 98, Red: 39, Offset: 0}
+	for _, t := range []float64{0, 38, 39, 97, 98} {
+		fmt.Printf("t=%2.0f: %s\n", t, s.StateAt(t))
+	}
+	// Output:
+	// t= 0: red
+	// t=38: red
+	// t=39: green
+	// t=97: green
+	// t=98: red
+}
+
+func ExampleSchedule_WaitAt() {
+	s := lights.Schedule{Cycle: 100, Red: 40, Offset: 0}
+	fmt.Printf("arrive at 10 s: wait %.0f s\n", s.WaitAt(10))
+	fmt.Printf("arrive at 50 s: wait %.0f s\n", s.WaitAt(50))
+	// Output:
+	// arrive at 10 s: wait 30 s
+	// arrive at 50 s: wait 0 s
+}
+
+func ExampleSchedule_Opposed() {
+	ns := lights.Schedule{Cycle: 98, Red: 39, Offset: 0}
+	ew := ns.Opposed()
+	fmt.Printf("NS red %.0f s, EW red %.0f s, same cycle: %v\n",
+		ns.Red, ew.Red, ns.Cycle == ew.Cycle)
+	fmt.Printf("t=10: NS %s, EW %s\n", ns.StateAt(10), ew.StateAt(10))
+	// Output:
+	// NS red 39 s, EW red 59 s, same cycle: true
+	// t=10: NS red, EW green
+}
+
+func ExampleNewDynamic() {
+	// A pre-programmed dynamic light: peak plan 07:00-10:00.
+	offPeak := lights.Schedule{Cycle: 90, Red: 40}
+	peak := lights.Schedule{Cycle: 150, Red: 75}
+	dyn, err := lights.NewDynamic([]lights.PlanEntry{
+		{DaySecond: 7 * 3600, S: peak},
+		{DaySecond: 10 * 3600, S: offPeak},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("03:00 cycle: %.0f s\n", dyn.ScheduleAt(3*3600).Cycle)
+	fmt.Printf("08:00 cycle: %.0f s\n", dyn.ScheduleAt(8*3600).Cycle)
+	// Output:
+	// 03:00 cycle: 90 s
+	// 08:00 cycle: 150 s
+}
+
+func ExampleGreenWaveOffsets() {
+	// Coordinate three lights 50 s of driving apart on a 100 s cycle.
+	offsets, err := lights.GreenWaveOffsets(100, 45, 0, []float64{50, 50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(offsets)
+	// Output:
+	// [0 50 0]
+}

@@ -1,0 +1,74 @@
+package lights
+
+import (
+	"fmt"
+	"math"
+)
+
+// GreenWaveOffsets computes signal offsets that coordinate a corridor of
+// lights into a green wave: a vehicle passing light i at the start of its
+// green reaches light i+1 exactly at the start of *its* green. All lights
+// must share the cycle length (the same property the paper's
+// intersection-based enhancement relies on within one crossroad, extended
+// along an arterial). travelTimes[i] is the drive time from light i to
+// light i+1, so the result has len(travelTimes)+1 entries; entry 0 is
+// baseOffset.
+//
+// This is the "transportation researchers can ... make optimization
+// accordingly" community use case from the paper's introduction: once
+// the schedules of a corridor are identified, mis-coordination is
+// directly measurable and a corrected offset plan is one subtraction
+// away.
+func GreenWaveOffsets(cycle, red, baseOffset float64, travelTimes []float64) ([]float64, error) {
+	if cycle <= 0 {
+		return nil, fmt.Errorf("lights: non-positive cycle %v", cycle)
+	}
+	if red <= 0 || red >= cycle {
+		return nil, fmt.Errorf("lights: red %v outside (0, cycle=%v)", red, cycle)
+	}
+	out := make([]float64, len(travelTimes)+1)
+	out[0] = math.Mod(baseOffset, cycle)
+	for i, tt := range travelTimes {
+		if tt < 0 {
+			return nil, fmt.Errorf("lights: negative travel time %v at hop %d", tt, i)
+		}
+		// Light i's green starts at offset_i + red; the wave reaches the
+		// next light tt later and its green must start then:
+		// offset_{i+1} + red = offset_i + red + tt  (mod cycle).
+		out[i+1] = math.Mod(out[i]+tt, cycle)
+		if out[i+1] < 0 {
+			out[i+1] += cycle
+		}
+	}
+	return out, nil
+}
+
+// CorridorDelay measures the total red-light wait of a vehicle departing
+// light 0 at the start of green and driving the corridor at the given
+// travel times, under the given schedules (one per light, sharing the
+// cycle length). It is zero for a perfectly coordinated green wave.
+func CorridorDelay(schedules []Schedule, travelTimes []float64) (float64, error) {
+	if len(schedules) != len(travelTimes)+1 {
+		return 0, fmt.Errorf("lights: %d schedules need %d travel times, got %d",
+			len(schedules), len(schedules)-1, len(travelTimes))
+	}
+	for i, s := range schedules {
+		if err := s.Validate(); err != nil {
+			return 0, fmt.Errorf("lights: schedule %d: %w", i, err)
+		}
+		if i > 0 && s.Cycle != schedules[0].Cycle {
+			return 0, fmt.Errorf("lights: schedule %d cycle %v differs from corridor cycle %v",
+				i, s.Cycle, schedules[0].Cycle)
+		}
+	}
+	// Depart at light 0's first green onset after t=0.
+	t := schedules[0].NextGreen(schedules[0].Offset + schedules[0].Red - 1e-9)
+	total := 0.0
+	for i, tt := range travelTimes {
+		t += tt
+		w := schedules[i+1].WaitAt(t)
+		total += w
+		t += w
+	}
+	return total, nil
+}

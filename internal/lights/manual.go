@@ -1,0 +1,116 @@
+package lights
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Manual models the paper's third light category: arterial-road lights
+// that on-site traffic police control by hand during peak congestion.
+// "When these traffic lights are not manually controlled, they work
+// similar as pre-programmed traffic lights" — so Manual wraps a base
+// Controller and overlays episodes of hand-tuned schedules.
+//
+// Manual episodes make the light's behaviour aperiodic and unpredictable,
+// which is why the paper's system only targets the first two categories;
+// this type exists so experiments can inject category-3 lights and
+// verify the identification degrades gracefully rather than silently.
+type Manual struct {
+	// Base is the schedule in force outside manual episodes.
+	Base Controller
+	// Episodes are the hand-control periods, sorted by Start.
+	Episodes []ManualEpisode
+}
+
+// ManualEpisode is one contiguous period of hand control.
+type ManualEpisode struct {
+	// Start and End bound the episode in epoch seconds.
+	Start, End float64
+	// S is the schedule the officer effectively imposes (averaged; real
+	// hand control is not exactly periodic, but the identification
+	// algorithms only ever see its aggregate effect).
+	S Schedule
+}
+
+// NewManual validates and returns a Manual controller. Episodes must be
+// sorted, non-overlapping and carry valid schedules.
+func NewManual(base Controller, episodes []ManualEpisode) (*Manual, error) {
+	if base == nil {
+		return nil, fmt.Errorf("lights: nil base controller")
+	}
+	for i, e := range episodes {
+		if e.End <= e.Start {
+			return nil, fmt.Errorf("lights: episode %d empty [%v, %v]", i, e.Start, e.End)
+		}
+		if err := e.S.Validate(); err != nil {
+			return nil, fmt.Errorf("lights: episode %d: %w", i, err)
+		}
+		if i > 0 && e.Start < episodes[i-1].End {
+			return nil, fmt.Errorf("lights: episode %d overlaps previous", i)
+		}
+	}
+	return &Manual{Base: base, Episodes: append([]ManualEpisode(nil), episodes...)}, nil
+}
+
+// episodeAt returns the active episode index at t, or -1.
+func (m *Manual) episodeAt(t float64) int {
+	i := sort.Search(len(m.Episodes), func(i int) bool { return m.Episodes[i].End > t })
+	if i < len(m.Episodes) && m.Episodes[i].Start <= t {
+		return i
+	}
+	return -1
+}
+
+// ScheduleAt implements Controller.
+func (m *Manual) ScheduleAt(t float64) Schedule {
+	if i := m.episodeAt(t); i >= 0 {
+		return m.Episodes[i].S
+	}
+	return m.Base.ScheduleAt(t)
+}
+
+// Changes implements Controller: the base controller's changes plus the
+// start and end of every manual episode inside the window.
+func (m *Manual) Changes(t0, t1 float64) []float64 {
+	out := append([]float64(nil), m.Base.Changes(t0, t1)...)
+	for _, e := range m.Episodes {
+		if e.Start >= t0 && e.Start < t1 {
+			out = append(out, e.Start)
+		}
+		if e.End >= t0 && e.End < t1 {
+			out = append(out, e.End)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// RandomPeakEpisodes generates plausible manual-control episodes for the
+// given days: during each morning and evening peak there is a chance the
+// officer takes over for a sub-interval with a longer, congestion-flushing
+// cycle. Deterministic in seed.
+func RandomPeakEpisodes(days int, base Schedule, prob float64, seed int64) []ManualEpisode {
+	rng := rand.New(rand.NewSource(seed))
+	var out []ManualEpisode
+	for d := 0; d < days; d++ {
+		for _, peakStart := range []float64{7.5 * 3600, 17.5 * 3600} {
+			if rng.Float64() >= prob {
+				continue
+			}
+			start := float64(d)*86400 + peakStart + rng.Float64()*1800
+			dur := 1200 + rng.Float64()*2400
+			cycle := float64(int(base.Cycle * (1.4 + rng.Float64()*0.6)))
+			out = append(out, ManualEpisode{
+				Start: start,
+				End:   start + dur,
+				S: Schedule{
+					Cycle:  cycle,
+					Red:    float64(int(cycle * 0.5)),
+					Offset: base.Offset,
+				},
+			})
+		}
+	}
+	return out
+}

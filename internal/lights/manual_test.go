@@ -1,0 +1,217 @@
+package lights
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewManualValidation(t *testing.T) {
+	base := Static{S: Schedule{Cycle: 100, Red: 50}}
+	good := []ManualEpisode{
+		{Start: 100, End: 200, S: Schedule{Cycle: 150, Red: 75}},
+		{Start: 300, End: 400, S: Schedule{Cycle: 160, Red: 80}},
+	}
+	if _, err := NewManual(base, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]ManualEpisode{
+		{{Start: 100, End: 100, S: Schedule{Cycle: 150, Red: 75}}},
+		{{Start: 100, End: 200, S: Schedule{Cycle: 0, Red: 0}}},
+		{{Start: 100, End: 300, S: Schedule{Cycle: 150, Red: 75}},
+			{Start: 250, End: 400, S: Schedule{Cycle: 150, Red: 75}}},
+	}
+	for i, eps := range bad {
+		if _, err := NewManual(base, eps); err == nil {
+			t.Errorf("bad episodes %d accepted", i)
+		}
+	}
+	if _, err := NewManual(nil, nil); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestManualOverridesDuringEpisode(t *testing.T) {
+	baseSched := Schedule{Cycle: 100, Red: 50}
+	override := Schedule{Cycle: 180, Red: 90}
+	m, err := NewManual(Static{S: baseSched}, []ManualEpisode{
+		{Start: 1000, End: 2000, S: override},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ScheduleAt(500); got != baseSched {
+		t.Fatalf("before episode: %+v", got)
+	}
+	if got := m.ScheduleAt(1500); got != override {
+		t.Fatalf("during episode: %+v", got)
+	}
+	if got := m.ScheduleAt(2500); got != baseSched {
+		t.Fatalf("after episode: %+v", got)
+	}
+	// Boundary semantics: [Start, End).
+	if got := m.ScheduleAt(1000); got != override {
+		t.Fatalf("at start: %+v", got)
+	}
+	if got := m.ScheduleAt(2000); got != baseSched {
+		t.Fatalf("at end: %+v", got)
+	}
+}
+
+func TestManualChanges(t *testing.T) {
+	base := Static{S: Schedule{Cycle: 100, Red: 50}}
+	m, _ := NewManual(base, []ManualEpisode{
+		{Start: 1000, End: 2000, S: Schedule{Cycle: 180, Red: 90}},
+	})
+	ch := m.Changes(0, 3000)
+	if len(ch) != 2 || ch[0] != 1000 || ch[1] != 2000 {
+		t.Fatalf("Changes = %v", ch)
+	}
+	if got := m.Changes(1100, 1900); got != nil && len(got) != 0 {
+		t.Fatalf("inside-episode window: %v", got)
+	}
+}
+
+func TestManualWrapsDynamicBase(t *testing.T) {
+	dyn, err := NewDynamic([]PlanEntry{
+		{DaySecond: 7 * 3600, S: Schedule{Cycle: 150, Red: 75}},
+		{DaySecond: 10 * 3600, S: Schedule{Cycle: 90, Red: 45}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManual(dyn, []ManualEpisode{
+		{Start: 8 * 3600, End: 9 * 3600, S: Schedule{Cycle: 200, Red: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ScheduleAt(7.5 * 3600).Cycle; got != 150 {
+		t.Fatalf("peak base cycle = %v", got)
+	}
+	if got := m.ScheduleAt(8.5 * 3600).Cycle; got != 200 {
+		t.Fatalf("manual cycle = %v", got)
+	}
+	ch := m.Changes(0, 86400)
+	// Base: 2 plan switches; manual: 2 episode edges.
+	if len(ch) != 4 {
+		t.Fatalf("Changes = %v, want 4 entries", ch)
+	}
+}
+
+func TestRandomPeakEpisodes(t *testing.T) {
+	base := Schedule{Cycle: 100, Red: 50, Offset: 7}
+	eps := RandomPeakEpisodes(5, base, 1.0, 3)
+	if len(eps) != 10 { // two peaks per day, prob 1
+		t.Fatalf("episodes = %d, want 10", len(eps))
+	}
+	for i, e := range eps {
+		if e.End <= e.Start {
+			t.Fatalf("episode %d empty", i)
+		}
+		if err := e.S.Validate(); err != nil {
+			t.Fatalf("episode %d: %v", i, err)
+		}
+		if e.S.Cycle < base.Cycle {
+			t.Fatalf("episode %d cycle %v shorter than base", i, e.S.Cycle)
+		}
+		if i > 0 && e.Start < eps[i-1].End {
+			t.Fatalf("episode %d overlaps", i)
+		}
+	}
+	// Determinism and prob-0 behaviour.
+	again := RandomPeakEpisodes(5, base, 1.0, 3)
+	if len(again) != len(eps) || again[0] != eps[0] {
+		t.Fatal("not deterministic")
+	}
+	if got := RandomPeakEpisodes(5, base, 0, 3); len(got) != 0 {
+		t.Fatalf("prob 0 produced %d episodes", len(got))
+	}
+	// Valid as a Manual controller.
+	if _, err := NewManual(Static{S: base}, eps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreenWaveOffsetsZeroDelay(t *testing.T) {
+	const cycle, red = 100.0, 45.0
+	travel := []float64{37, 61, 144}
+	offsets, err := GreenWaveOffsets(cycle, red, 12, travel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 4 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	scheds := make([]Schedule, len(offsets))
+	for i, off := range offsets {
+		scheds[i] = Schedule{Cycle: cycle, Red: red, Offset: off}
+	}
+	delay, err := CorridorDelay(scheds, travel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay > 1e-6 {
+		t.Fatalf("coordinated corridor delay = %v, want 0", delay)
+	}
+}
+
+func TestGreenWaveBeatsRandomOffsets(t *testing.T) {
+	const cycle, red = 100.0, 45.0
+	travel := []float64{37, 61, 144, 52}
+	offsets, err := GreenWaveOffsets(cycle, red, 0, travel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordinated := make([]Schedule, len(offsets))
+	for i, off := range offsets {
+		coordinated[i] = Schedule{Cycle: cycle, Red: red, Offset: off}
+	}
+	good, err := CorridorDelay(coordinated, travel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average delay over many random offset plans.
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		random := make([]Schedule, len(offsets))
+		for i := range random {
+			random[i] = Schedule{Cycle: cycle, Red: red, Offset: rng.Float64() * cycle}
+		}
+		d, err := CorridorDelay(random, travel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += d
+	}
+	mean := sum / trials
+	// Uncoordinated corridors average ~ nLights * red^2/(2 cycle) waits.
+	if good >= mean/2 {
+		t.Fatalf("green wave delay %v not clearly below random mean %v", good, mean)
+	}
+}
+
+func TestGreenWaveErrors(t *testing.T) {
+	if _, err := GreenWaveOffsets(0, 10, 0, nil); err == nil {
+		t.Fatal("zero cycle accepted")
+	}
+	if _, err := GreenWaveOffsets(100, 0, 0, nil); err == nil {
+		t.Fatal("zero red accepted")
+	}
+	if _, err := GreenWaveOffsets(100, 40, 0, []float64{-5}); err == nil {
+		t.Fatal("negative travel time accepted")
+	}
+	ok := []Schedule{{Cycle: 100, Red: 40}, {Cycle: 100, Red: 40}}
+	if _, err := CorridorDelay(ok, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := []Schedule{{Cycle: 100, Red: 40}, {Cycle: 90, Red: 40}}
+	if _, err := CorridorDelay(bad, []float64{30}); err == nil {
+		t.Fatal("mixed cycles accepted")
+	}
+	invalid := []Schedule{{Cycle: 100, Red: 0}, {Cycle: 100, Red: 40}}
+	if _, err := CorridorDelay(invalid, []float64{30}); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package navigation
+
+import (
+	"fmt"
+	"math"
+
+	"taxilight/internal/lights"
+)
+
+// Advisory is a green-light optimal speed advisory (GLOSA): given the
+// identified schedule of the light ahead and the distance to its stop
+// line, the recommended speed that meets the next green window without
+// stopping — the "optimal suggestions ... to pass the intersections
+// smoothly" application from the paper's introduction (refs [4], [5]).
+type Advisory struct {
+	// SpeedMS is the recommended cruise speed in m/s; 0 means stopping
+	// is unavoidable within the allowed speed band.
+	SpeedMS float64
+	// Wait is the predicted stop duration when SpeedMS is 0.
+	Wait float64
+	// ArrivalState is the light colour predicted at arrival when
+	// driving at SpeedMS (always Green unless stopping is unavoidable).
+	ArrivalState lights.State
+}
+
+// AdvisoryConfig bounds the advisory.
+type AdvisoryConfig struct {
+	// MinSpeedMS and MaxSpeedMS bound the recommendable cruise speed.
+	MinSpeedMS, MaxSpeedMS float64
+}
+
+// DefaultAdvisoryConfig allows 20-60 km/h recommendations.
+func DefaultAdvisoryConfig() AdvisoryConfig {
+	return AdvisoryConfig{MinSpeedMS: 5.5, MaxSpeedMS: 16.7}
+}
+
+// Validate checks the configuration.
+func (c AdvisoryConfig) Validate() error {
+	if c.MinSpeedMS <= 0 || c.MaxSpeedMS < c.MinSpeedMS {
+		return fmt.Errorf("navigation: bad advisory speed band [%v, %v]", c.MinSpeedMS, c.MaxSpeedMS)
+	}
+	return nil
+}
+
+// Advise computes the speed advisory for a vehicle dist metres upstream
+// of a light at time now. It prefers the fastest speed within the band
+// that arrives on green; when no in-band speed hits any green window it
+// recommends the maximum speed and reports the unavoidable wait.
+func Advise(sched lights.Schedule, dist, now float64, cfg AdvisoryConfig) (Advisory, error) {
+	if err := cfg.Validate(); err != nil {
+		return Advisory{}, err
+	}
+	if dist < 0 {
+		return Advisory{}, fmt.Errorf("navigation: negative distance %v", dist)
+	}
+	if err := sched.Validate(); err != nil {
+		return Advisory{}, err
+	}
+	if dist == 0 {
+		st := sched.StateAt(now)
+		adv := Advisory{SpeedMS: cfg.MaxSpeedMS, ArrivalState: st}
+		if st == lights.Red {
+			adv.SpeedMS = 0
+			adv.Wait = sched.WaitAt(now)
+		}
+		return adv, nil
+	}
+	// Arrival-time window reachable within the speed band.
+	tMin := now + dist/cfg.MaxSpeedMS
+	tMax := now + dist/cfg.MinSpeedMS
+	// Aim inside the green window with a safety margin: a driver cannot
+	// hit an instantaneous boundary, and the margin also absorbs the
+	// floating-point round trip through speed = dist/(t - now).
+	margin := math.Min(0.5, sched.Green()/4)
+	// Walk the green windows intersecting [tMin, tMax]; prefer the
+	// earliest feasible arrival (the fastest speed).
+	cycleStart := tMin - sched.PhaseAt(tMin)
+	for start := cycleStart - sched.Cycle; start < tMax+sched.Cycle; start += sched.Cycle {
+		gStart := start + sched.Red
+		gEnd := start + sched.Cycle
+		lo := math.Max(gStart+margin, tMin)
+		hi := math.Min(gEnd-margin, tMax)
+		if lo <= hi {
+			return Advisory{SpeedMS: dist / (lo - now), ArrivalState: lights.Green}, nil
+		}
+	}
+	// No green window reachable: drive at the band maximum and wait.
+	arrive := now + dist/cfg.MaxSpeedMS
+	return Advisory{
+		SpeedMS:      0,
+		Wait:         sched.WaitAt(arrive),
+		ArrivalState: lights.Red,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package navigation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taxilight/internal/lights"
+)
+
+func TestAdviseArrivesOnGreen(t *testing.T) {
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 0}
+	cfg := DefaultAdvisoryConfig()
+	// 500 m upstream at t=0 (light just turned red). Fastest arrival is
+	// t=30 (still red); the advisory must slow down to arrive at 39+.
+	adv, err := Advise(sched, 500, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.ArrivalState != lights.Green {
+		t.Fatalf("advisory arrives on %v", adv.ArrivalState)
+	}
+	if adv.SpeedMS < cfg.MinSpeedMS-1e-9 || adv.SpeedMS > cfg.MaxSpeedMS+1e-9 {
+		t.Fatalf("advised speed %v outside band", adv.SpeedMS)
+	}
+	arrive := 500 / adv.SpeedMS
+	if sched.StateAt(arrive) != lights.Green {
+		t.Fatalf("driving at %v m/s arrives at %v (state %v)", adv.SpeedMS, arrive, sched.StateAt(arrive))
+	}
+	// Prefer the fastest feasible speed: arrival at the green onset.
+	if math.Abs(arrive-39) > 0.5 {
+		t.Fatalf("arrival %v, want ~39 (earliest green)", arrive)
+	}
+}
+
+func TestAdviseKeepsMaxSpeedWhenAlreadyGreen(t *testing.T) {
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 0}
+	cfg := DefaultAdvisoryConfig()
+	// At t=40 the light is green for 58 more seconds; 200 m at max speed
+	// takes 12 s: full speed is feasible.
+	adv, err := Advise(sched, 200, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adv.SpeedMS-cfg.MaxSpeedMS) > 1e-6 {
+		t.Fatalf("advised %v, want max %v", adv.SpeedMS, cfg.MaxSpeedMS)
+	}
+}
+
+func TestAdviseUnavoidableStop(t *testing.T) {
+	// A long red right ahead: 100 m away, red lasts another 80 s, and
+	// even the slowest allowed speed arrives during red.
+	sched := lights.Schedule{Cycle: 200, Red: 150, Offset: 0}
+	cfg := AdvisoryConfig{MinSpeedMS: 10, MaxSpeedMS: 15}
+	adv, err := Advise(sched, 100, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.SpeedMS != 0 || adv.Wait <= 0 || adv.ArrivalState != lights.Red {
+		t.Fatalf("advisory = %+v, want unavoidable stop", adv)
+	}
+	// The predicted wait equals the schedule's wait at max-speed arrival.
+	want := sched.WaitAt(100.0 / 15)
+	if math.Abs(adv.Wait-want) > 1e-9 {
+		t.Fatalf("wait %v, want %v", adv.Wait, want)
+	}
+}
+
+func TestAdviseAtStopLine(t *testing.T) {
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 0}
+	cfg := DefaultAdvisoryConfig()
+	adv, err := Advise(sched, 0, 50, cfg) // green now
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.SpeedMS != cfg.MaxSpeedMS || adv.ArrivalState != lights.Green {
+		t.Fatalf("at-line green advisory = %+v", adv)
+	}
+	adv, err = Advise(sched, 0, 10, cfg) // red now
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.SpeedMS != 0 || math.Abs(adv.Wait-29) > 1e-9 {
+		t.Fatalf("at-line red advisory = %+v", adv)
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	sched := lights.Schedule{Cycle: 98, Red: 39}
+	if _, err := Advise(sched, -5, 0, DefaultAdvisoryConfig()); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := Advise(lights.Schedule{}, 100, 0, DefaultAdvisoryConfig()); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	if _, err := Advise(sched, 100, 0, AdvisoryConfig{MinSpeedMS: 10, MaxSpeedMS: 5}); err == nil {
+		t.Fatal("inverted band accepted")
+	}
+}
+
+// Property: whenever the advisory recommends a positive speed, driving
+// exactly that speed arrives on green, and the speed is in band.
+func TestAdviseGreenArrivalProperty(t *testing.T) {
+	cfg := DefaultAdvisoryConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cycle := 50 + rng.Float64()*250
+		red := 10 + rng.Float64()*(cycle-20)
+		sched := lights.Schedule{Cycle: cycle, Red: red, Offset: rng.Float64() * cycle}
+		dist := rng.Float64() * 1500
+		now := rng.Float64() * 5000
+		adv, err := Advise(sched, dist, now, cfg)
+		if err != nil {
+			return false
+		}
+		if adv.SpeedMS == 0 {
+			return adv.ArrivalState == lights.Red || dist == 0
+		}
+		if adv.SpeedMS < cfg.MinSpeedMS-1e-6 || adv.SpeedMS > cfg.MaxSpeedMS+1e-6 {
+			return false
+		}
+		if dist == 0 {
+			return true
+		}
+		arrive := now + dist/adv.SpeedMS
+		return sched.StateAt(arrive) == lights.Green
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdvise(b *testing.B) {
+	sched := lights.Schedule{Cycle: 98, Red: 39, Offset: 11}
+	cfg := DefaultAdvisoryConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Advise(sched, float64(i%800), float64(i%3600), cfg)
+	}
+}

@@ -1,0 +1,126 @@
+package navigation
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"taxilight/internal/lights"
+	"taxilight/internal/roadnet"
+)
+
+// ScheduleSource supplies the light schedules a planner believes in —
+// ground truth for upper-bound studies, or pipeline-identified schedules
+// for the end-to-end application. ok is false when the source has no
+// schedule for the approach (the planner then assumes no wait, as a
+// navigator without information must).
+type ScheduleSource interface {
+	ScheduleFor(node roadnet.NodeID, approach lights.Approach, t float64) (lights.Schedule, bool)
+}
+
+// TruthSource reads the network's own light controllers.
+type TruthSource struct {
+	Net *roadnet.Network
+}
+
+// ScheduleFor implements ScheduleSource.
+func (s TruthSource) ScheduleFor(node roadnet.NodeID, approach lights.Approach, t float64) (lights.Schedule, bool) {
+	nd := s.Net.Node(node)
+	if nd.Light == nil {
+		return lights.Schedule{}, false
+	}
+	return nd.Light.ScheduleFor(approach, t), true
+}
+
+// MapSource serves schedules from an explicit per-approach map, e.g. the
+// identification pipeline's output.
+type MapSource map[roadnet.NodeID]map[lights.Approach]lights.Schedule
+
+// ScheduleFor implements ScheduleSource.
+func (m MapSource) ScheduleFor(node roadnet.NodeID, approach lights.Approach, _ float64) (lights.Schedule, bool) {
+	byApp, ok := m[node]
+	if !ok {
+		return lights.Schedule{}, false
+	}
+	s, ok := byApp[approach]
+	return s, ok
+}
+
+// Set records a schedule, allocating the inner map as needed.
+func (m MapSource) Set(node roadnet.NodeID, approach lights.Approach, s lights.Schedule) {
+	byApp := m[node]
+	if byApp == nil {
+		byApp = map[lights.Approach]lights.Schedule{}
+		m[node] = byApp
+	}
+	byApp[approach] = s
+}
+
+// BelievedPlanner is a time-dependent earliest-arrival planner whose
+// light knowledge comes from an arbitrary ScheduleSource instead of
+// ground truth. With Source = TruthSource it equals LightAwarePlanner;
+// with pipeline-identified schedules it measures the *end-to-end* value
+// of the identification system: plans are made with believed schedules,
+// but trips are evaluated against the real lights.
+type BelievedPlanner struct {
+	Net    *roadnet.Network
+	Source ScheduleSource
+}
+
+// Plan implements Planner.
+func (p *BelievedPlanner) Plan(src, dst roadnet.NodeID, depart float64) (roadnet.Route, error) {
+	if p.Source == nil {
+		return roadnet.Route{}, fmt.Errorf("navigation: nil schedule source")
+	}
+	net := p.Net
+	nn := net.NumNodes()
+	if int(src) >= nn || int(dst) >= nn || src < 0 || dst < 0 {
+		return roadnet.Route{}, fmt.Errorf("navigation: node out of range: %d -> %d", src, dst)
+	}
+	arrive := make([]float64, nn)
+	prev := make([]roadnet.SegmentID, nn)
+	done := make([]bool, nn)
+	for i := range arrive {
+		arrive[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	arrive[src] = depart
+	pq := &nodeQueue{{id: src, t: depart}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if done[it.id] {
+			continue
+		}
+		done[it.id] = true
+		if it.id == dst {
+			break
+		}
+		for _, sid := range net.Node(it.id).Out {
+			seg := net.Segment(sid)
+			t := arrive[it.id] + seg.TravelTime()
+			if seg.To != dst {
+				if sched, ok := p.Source.ScheduleFor(seg.To, seg.Approach(), t); ok {
+					t += sched.WaitAt(t)
+				}
+			}
+			if t < arrive[seg.To] {
+				arrive[seg.To] = t
+				prev[seg.To] = sid
+				heap.Push(pq, nodeItem{id: seg.To, t: t})
+			}
+		}
+	}
+	if math.IsInf(arrive[dst], 1) {
+		return roadnet.Route{}, fmt.Errorf("navigation: node %d unreachable from %d", dst, src)
+	}
+	var segs []roadnet.SegmentID
+	for at := dst; at != src; {
+		sid := prev[at]
+		segs = append(segs, sid)
+		at = net.Segment(sid).From
+	}
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return roadnet.Route{Segments: segs, Cost: arrive[dst] - depart}, nil
+}

@@ -1,0 +1,154 @@
+package roadnet
+
+import (
+	"math"
+
+	"taxilight/internal/geo"
+)
+
+// spatialIndex is a uniform grid over the network bounding box. Cells hold
+// the IDs of segments whose padded bounding boxes intersect the cell, plus
+// the signalised nodes inside the cell. Queries expand ring by ring until
+// a hit is provably nearest, which keeps nearest-neighbour lookups O(1) on
+// the uniformly dense city grids used here.
+type spatialIndex struct {
+	bbox   geo.BBox
+	cell   float64
+	nx, ny int
+	segs   [][]SegmentID
+	lights [][]NodeID
+	net    *Network
+}
+
+// indexCellSize is the grid pitch in metres; a few hundred metres keeps
+// per-cell lists short while covering typical GPS error radii in one ring.
+const indexCellSize = 250.0
+
+func buildIndex(net *Network) *spatialIndex {
+	bb := net.BBox().Pad(indexCellSize)
+	nx := int(math.Ceil(bb.Width()/indexCellSize)) + 1
+	ny := int(math.Ceil(bb.Height()/indexCellSize)) + 1
+	idx := &spatialIndex{
+		bbox: bb, cell: indexCellSize, nx: nx, ny: ny,
+		segs:   make([][]SegmentID, nx*ny),
+		lights: make([][]NodeID, nx*ny),
+		net:    net,
+	}
+	for _, s := range net.segments {
+		sb := geo.NewBBox(s.geom.A, s.geom.B).Pad(1)
+		x0, y0 := idx.cellOf(geo.XY{X: sb.MinX, Y: sb.MinY})
+		x1, y1 := idx.cellOf(geo.XY{X: sb.MaxX, Y: sb.MaxY})
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				c := cy*nx + cx
+				idx.segs[c] = append(idx.segs[c], s.ID)
+			}
+		}
+	}
+	for _, nd := range net.nodes {
+		if !nd.Signalised() {
+			continue
+		}
+		cx, cy := idx.cellOf(nd.Pos)
+		c := cy*nx + cx
+		idx.lights[c] = append(idx.lights[c], nd.ID)
+	}
+	return idx
+}
+
+func (idx *spatialIndex) cellOf(p geo.XY) (int, int) {
+	cx := int((p.X - idx.bbox.MinX) / idx.cell)
+	cy := int((p.Y - idx.bbox.MinY) / idx.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= idx.nx {
+		cx = idx.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= idx.ny {
+		cy = idx.ny - 1
+	}
+	return cx, cy
+}
+
+// nearestSegment scans outward rings of cells around q. filter may be nil.
+func (idx *spatialIndex) nearestSegment(q geo.XY, maxDist float64, filter func(*Segment) bool) (*Segment, float64, bool) {
+	cx, cy := idx.cellOf(q)
+	maxRing := int(maxDist/idx.cell) + 2
+	var best *Segment
+	bestD := math.Inf(1)
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a hit is closer than the inner edge of the next ring, no
+		// farther cell can contain anything nearer.
+		if best != nil && bestD <= float64(ring-1)*idx.cell {
+			break
+		}
+		idx.forRing(cx, cy, ring, func(c int) {
+			for _, sid := range idx.segs[c] {
+				s := idx.net.segments[sid]
+				if filter != nil && !filter(s) {
+					continue
+				}
+				if d := s.geom.DistanceTo(q); d < bestD {
+					best, bestD = s, d
+				}
+			}
+		})
+	}
+	if best == nil || bestD > maxDist {
+		return nil, 0, false
+	}
+	return best, bestD, true
+}
+
+func (idx *spatialIndex) nearestLight(q geo.XY, maxDist float64) (*Node, float64, bool) {
+	cx, cy := idx.cellOf(q)
+	maxRing := int(maxDist/idx.cell) + 2
+	var best *Node
+	bestD := math.Inf(1)
+	for ring := 0; ring <= maxRing; ring++ {
+		if best != nil && bestD <= float64(ring-1)*idx.cell {
+			break
+		}
+		idx.forRing(cx, cy, ring, func(c int) {
+			for _, nid := range idx.lights[c] {
+				nd := idx.net.nodes[nid]
+				if d := nd.Pos.Sub(q).Norm(); d < bestD {
+					best, bestD = nd, d
+				}
+			}
+		})
+	}
+	if best == nil || bestD > maxDist {
+		return nil, 0, false
+	}
+	return best, bestD, true
+}
+
+// forRing visits every in-bounds cell on the square ring of the given
+// radius (in cells) around (cx, cy). Ring 0 is the centre cell itself.
+func (idx *spatialIndex) forRing(cx, cy, ring int, visit func(cell int)) {
+	if ring == 0 {
+		visit(cy*idx.nx + cx)
+		return
+	}
+	x0, x1 := cx-ring, cx+ring
+	y0, y1 := cy-ring, cy+ring
+	for x := x0; x <= x1; x++ {
+		for _, y := range []int{y0, y1} {
+			if x >= 0 && x < idx.nx && y >= 0 && y < idx.ny {
+				visit(y*idx.nx + x)
+			}
+		}
+	}
+	for y := y0 + 1; y <= y1-1; y++ {
+		for _, x := range []int{x0, x1} {
+			if x >= 0 && x < idx.nx && y >= 0 && y < idx.ny {
+				visit(y*idx.nx + x)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package roadnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"taxilight/internal/lights"
+)
+
+// fixtureOSM is a hand-written extract: a signalised crossroad at node 3
+// where a two-way east-west primary road (ways 100) crosses a one-way
+// northbound street (way 101), plus a service way that must be ignored.
+const fixtureOSM = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="22.5400" lon="114.0500"/>
+  <node id="2" lat="22.5400" lon="114.0550"/>
+  <node id="3" lat="22.5400" lon="114.0600">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <node id="4" lat="22.5400" lon="114.0650"/>
+  <node id="5" lat="22.5350" lon="114.0600"/>
+  <node id="6" lat="22.5450" lon="114.0600"/>
+  <node id="7" lat="22.5500" lon="114.0500"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/><nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="name" v="ShenNan Avenue"/>
+    <tag k="maxspeed" v="60"/>
+  </way>
+  <way id="101">
+    <nd ref="5"/><nd ref="3"/><nd ref="6"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="102">
+    <nd ref="1"/><nd ref="7"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>`
+
+func TestImportOSMBasics(t *testing.T) {
+	net, err := ImportOSM(strings.NewReader(fixtureOSM), DefaultOSMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Way 100: 3 hops x 2 directions; way 101: 2 hops x 1 direction.
+	if got := net.NumSegments(); got != 8 {
+		t.Fatalf("segments = %d, want 8", got)
+	}
+	// Node 7 is only on the footway: must not be imported.
+	if got := net.NumNodes(); got != 6 {
+		t.Fatalf("nodes = %d, want 6", got)
+	}
+	sig := net.SignalisedNodes()
+	if len(sig) != 1 {
+		t.Fatalf("signalised nodes = %d, want 1", len(sig))
+	}
+	if err := sig[0].Light.Ctrl.ScheduleAt(0).Validate(); err != nil {
+		t.Fatalf("default schedule invalid: %v", err)
+	}
+}
+
+func TestImportOSMSpeedAndName(t *testing.T) {
+	net, err := ImportOSM(strings.NewReader(fixtureOSM), DefaultOSMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var primary, residential *Segment
+	for _, s := range net.Segments() {
+		if s.Name == "ShenNan Avenue" && primary == nil {
+			primary = s
+		}
+		if strings.HasPrefix(s.Name, "way/101") && residential == nil {
+			residential = s
+		}
+	}
+	if primary == nil || residential == nil {
+		t.Fatal("expected segments missing")
+	}
+	if math.Abs(primary.SpeedLimit-60/3.6) > 1e-9 {
+		t.Fatalf("primary speed = %v, want %v", primary.SpeedLimit, 60/3.6)
+	}
+	if residential.SpeedLimit != 13.9 {
+		t.Fatalf("residential speed = %v, want default", residential.SpeedLimit)
+	}
+}
+
+func TestImportOSMOnewayDirections(t *testing.T) {
+	net, err := ImportOSM(strings.NewReader(fixtureOSM), DefaultOSMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The one-way street runs south -> north: every way/101 segment must
+	// head north (heading ~0).
+	for _, s := range net.Segments() {
+		if strings.HasPrefix(s.Name, "way/101") {
+			if d := s.Heading(); d > 10 && d < 350 {
+				t.Fatalf("oneway segment heading %v, want ~north", d)
+			}
+		}
+	}
+}
+
+func TestImportOSMReverseOneway(t *testing.T) {
+	xmlSrc := strings.Replace(fixtureOSM, `<tag k="oneway" v="yes"/>`, `<tag k="oneway" v="-1"/>`, 1)
+	net, err := ImportOSM(strings.NewReader(xmlSrc), DefaultOSMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range net.Segments() {
+		if strings.HasPrefix(s.Name, "way/101") {
+			if d := s.Heading(); d < 170 || d > 190 {
+				t.Fatalf("reversed oneway heading %v, want ~south", d)
+			}
+		}
+	}
+}
+
+func TestImportOSMCustomLights(t *testing.T) {
+	cfg := DefaultOSMConfig()
+	want := lights.Schedule{Cycle: 98, Red: 39, Offset: 5}
+	var sawID int64
+	cfg.Lights = func(osmID int64) lights.Controller {
+		sawID = osmID
+		return lights.Static{S: want}
+	}
+	net, err := ImportOSM(strings.NewReader(fixtureOSM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawID != 3 {
+		t.Fatalf("lights factory saw node %d, want 3", sawID)
+	}
+	got := net.SignalisedNodes()[0].Light.Ctrl.ScheduleAt(0)
+	if got != want {
+		t.Fatalf("schedule = %+v", got)
+	}
+}
+
+func TestImportOSMErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"empty", `<osm></osm>`},
+		{"no drivable ways", `<osm><node id="1" lat="1" lon="1"/><way id="9"><nd ref="1"/><tag k="highway" v="footway"/></way></osm>`},
+		{"missing node ref", `<osm><node id="1" lat="1" lon="1"/><way id="9"><nd ref="1"/><nd ref="99"/><tag k="highway" v="primary"/></way></osm>`},
+		{"malformed xml", `<osm><node id="1"`},
+	}
+	for _, c := range cases {
+		if _, err := ImportOSM(strings.NewReader(c.xml), DefaultOSMConfig()); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	bad := DefaultOSMConfig()
+	bad.DefaultSpeedMS = 0
+	if _, err := ImportOSM(strings.NewReader(fixtureOSM), bad); err == nil {
+		t.Error("zero default speed accepted")
+	}
+}
+
+func TestImportOSMNetworkIsQueryable(t *testing.T) {
+	net, err := ImportOSM(strings.NewReader(fixtureOSM), DefaultOSMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The imported network must support the pipeline's spatial queries.
+	sig := net.SignalisedNodes()[0]
+	node, d, ok := net.NearestLight(sig.Pos, 50)
+	if !ok || node.ID != sig.ID || d > 1 {
+		t.Fatalf("NearestLight on import: %v %v %v", node, d, ok)
+	}
+	if _, _, ok := net.NearestSegment(sig.Pos, 200); !ok {
+		t.Fatal("NearestSegment failed on import")
+	}
+	// Routing across the crossroad works.
+	var from, to NodeID = -1, -1
+	for _, nd := range net.Nodes() {
+		if len(nd.Out) > 0 && from < 0 {
+			from = nd.ID
+		}
+	}
+	to = sig.ID
+	if from < 0 {
+		t.Fatal("no source node")
+	}
+	if _, err := net.ShortestPath(from, to, func(s *Segment) float64 { return s.Length() }); err != nil {
+		t.Fatalf("routing on import: %v", err)
+	}
+}
+
+func TestParseMaxspeed(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"50", 50 / 3.6, true},
+		{"50 km/h", 50 / 3.6, true},
+		{"30 mph", 30 * 0.44704, true},
+		{"none", 0, false},
+		{"", 0, false},
+		{"-5", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseMaxspeed(c.in)
+		if ok != c.ok || (ok && math.Abs(got-c.want) > 1e-9) {
+			t.Errorf("parseMaxspeed(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestImportOSMSimplification(t *testing.T) {
+	// A way with dense collinear shape nodes between two endpoints plus a
+	// shape node shared with a crossing way (a junction): simplification
+	// must drop the collinear fillers but keep the junction.
+	xmlSrc := `<?xml version="1.0"?>
+<osm>
+  <node id="1" lat="22.5400" lon="114.0500"/>
+  <node id="2" lat="22.5400" lon="114.0510"/>
+  <node id="3" lat="22.5400" lon="114.0520"/>
+  <node id="4" lat="22.5400" lon="114.0530"/>
+  <node id="5" lat="22.5400" lon="114.0540"/>
+  <node id="6" lat="22.5400" lon="114.0550"/>
+  <node id="7" lat="22.5390" lon="114.0530"/>
+  <way id="1">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/><nd ref="4"/><nd ref="5"/><nd ref="6"/>
+    <tag k="highway" v="primary"/>
+  </way>
+  <way id="2">
+    <nd ref="7"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>`
+	plainCfg := DefaultOSMConfig()
+	plain, err := ImportOSM(strings.NewReader(xmlSrc), plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpCfg := DefaultOSMConfig()
+	simpCfg.SimplifyTolerance = 3
+	simp, err := ImportOSM(strings.NewReader(xmlSrc), simpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.NumSegments() >= plain.NumSegments() {
+		t.Fatalf("simplification did not reduce segments: %d vs %d",
+			simp.NumSegments(), plain.NumSegments())
+	}
+	// Way 1 collapses to 1 -> 4 -> 6 (junction kept): 2 hops x 2 dirs,
+	// plus way 2's 1 hop x 2 dirs.
+	if simp.NumSegments() != 6 {
+		t.Fatalf("segments = %d, want 6", simp.NumSegments())
+	}
+	// Total length along way 1 is preserved (collinear nodes).
+	sumPlain, sumSimp := 0.0, 0.0
+	for _, s := range plain.Segments() {
+		if strings.HasPrefix(s.Name, "way/1") {
+			sumPlain += s.Length()
+		}
+	}
+	for _, s := range simp.Segments() {
+		if strings.HasPrefix(s.Name, "way/1") {
+			sumSimp += s.Length()
+		}
+	}
+	if math.Abs(sumPlain-sumSimp) > sumPlain*0.01 {
+		t.Fatalf("length changed: %v vs %v", sumPlain, sumSimp)
+	}
+}

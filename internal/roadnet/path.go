@@ -1,0 +1,105 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Route is a node-to-node path through the network: the ordered segment
+// IDs driven, plus the total metric cost the search minimised.
+type Route struct {
+	Segments []SegmentID
+	Cost     float64
+}
+
+// Nodes returns the node sequence visited by the route, starting with the
+// route's origin.
+func (r Route) Nodes(net *Network) []NodeID {
+	if len(r.Segments) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(r.Segments)+1)
+	out = append(out, net.Segment(r.Segments[0]).From)
+	for _, sid := range r.Segments {
+		out = append(out, net.Segment(sid).To)
+	}
+	return out
+}
+
+// EdgeCost maps a segment to its traversal cost. Routing by distance uses
+// Segment.Length; routing by free-flow time uses Segment.TravelTime.
+type EdgeCost func(*Segment) float64
+
+// ShortestPath runs Dijkstra from src to dst under the given cost
+// function. It returns an error when dst is unreachable or the cost
+// function yields a negative edge.
+func (n *Network) ShortestPath(src, dst NodeID, cost EdgeCost) (Route, error) {
+	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) || src < 0 || dst < 0 {
+		return Route{}, fmt.Errorf("roadnet: node out of range: %d -> %d", src, dst)
+	}
+	dist := make([]float64, len(n.nodes))
+	prev := make([]SegmentID, len(n.nodes))
+	done := make([]bool, len(n.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if done[it.id] {
+			continue
+		}
+		done[it.id] = true
+		if it.id == dst {
+			break
+		}
+		for _, sid := range n.nodes[it.id].Out {
+			s := n.segments[sid]
+			c := cost(s)
+			if c < 0 {
+				return Route{}, fmt.Errorf("roadnet: negative edge cost %v on segment %d", c, sid)
+			}
+			if nd := dist[it.id] + c; nd < dist[s.To] {
+				dist[s.To] = nd
+				prev[s.To] = sid
+				heap.Push(pq, nodeItem{id: s.To, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Route{}, fmt.Errorf("roadnet: node %d unreachable from %d", dst, src)
+	}
+	var segs []SegmentID
+	for at := dst; at != src; {
+		sid := prev[at]
+		segs = append(segs, sid)
+		at = n.segments[sid].From
+	}
+	// Reverse into driving order.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return Route{Segments: segs, Cost: dist[dst]}, nil
+}
+
+type nodeItem struct {
+	id NodeID
+	d  float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult reports a one-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the supremum distance between the empirical CDF and the
+	// reference CDF.
+	D float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov
+	// distribution approximation; good for n >= ~35).
+	PValue float64
+	// N is the sample size.
+	N int
+}
+
+// KSTest performs a one-sample KS test of xs against the reference
+// distribution given by cdf. It is used to back Fig. 2(d)'s "fits normal
+// distribution well" claim with an actual statistic instead of a visual
+// impression.
+func KSTest(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n < 5 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs >= 5 samples, got %d", n)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		if math.IsNaN(f) {
+			return KSResult{}, fmt.Errorf("stats: reference CDF returned NaN at %v", x)
+		}
+		dPlus := float64(i+1)/float64(n) - f
+		dMinus := f - float64(i)/float64(n)
+		d = math.Max(d, math.Max(dPlus, dMinus))
+	}
+	return KSResult{D: d, PValue: ksPValue(d, n), N: n}, nil
+}
+
+// KSTestNormal tests xs against the normal distribution fitted to xs
+// itself (a Lilliefors-style check; the returned p-value uses the plain
+// Kolmogorov asymptotics and is therefore conservative-leaning for this
+// composite hypothesis — fine for the descriptive use here).
+func KSTestNormal(xs []float64) (KSResult, NormalFit, error) {
+	fit, err := FitNormal(xs)
+	if err != nil {
+		return KSResult{}, NormalFit{}, err
+	}
+	res, err := KSTest(xs, fit.CDF)
+	return res, fit, err
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov survival function
+// Q(λ) = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²) at λ = D(√n + 0.12 + 0.11/√n).
+func ksPValue(d float64, n int) float64 {
+	sqrtN := math.Sqrt(float64(n))
+	lambda := d * (sqrtN + 0.12 + 0.11/sqrtN)
+	if lambda < 1e-6 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * lambda * lambda)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

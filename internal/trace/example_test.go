@@ -1,0 +1,44 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"taxilight/internal/trace"
+)
+
+func ExampleRecord_MarshalCSV() {
+	r := trace.Record{
+		Plate:    "B12345",
+		Lon:      114.125001,
+		Lat:      22.547002,
+		Time:     time.Date(2014, 12, 5, 15, 22, 0, 0, time.UTC),
+		DeviceID: 900001,
+		SpeedKMH: 42.5,
+		Heading:  91,
+		GPSOK:    true,
+		SIM:      "13800001234",
+		Occupied: true,
+		Color:    "yellow",
+	}
+	fmt.Println(r.MarshalCSV())
+	// Output:
+	// B12345,114125001,22547002,2014-12-05 15:22:00,900001,42.5,91.0,1,0,13800001234,1,yellow
+}
+
+func ExampleNewScanner() {
+	csv := "B1,114125000,22547000,2014-12-05 15:22:00,1,42.5,91.0,1,0,s,1,yellow\n" +
+		"B2,114126000,22548000,2014-12-05 15:22:30,2,0.0,180.0,1,0,s,0,blue\n"
+	sc := trace.NewScanner(strings.NewReader(csv))
+	for sc.Scan() {
+		r := sc.Record()
+		fmt.Printf("%s at %.3f,%.3f doing %.1f km/h\n", r.Plate, r.Lat, r.Lon, r.SpeedKMH)
+	}
+	if err := sc.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// B1 at 22.547,114.125 doing 42.5 km/h
+	// B2 at 22.548,114.126 doing 0.0 km/h
+}

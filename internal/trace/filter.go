@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"taxilight/internal/geo"
+)
+
+// Query utilities for slicing large traces. All functions allocate fresh
+// slices and leave the input untouched; records keep their original
+// relative order.
+
+// FilterByTime keeps records with from <= Time < to.
+func FilterByTime(recs []Record, from, to time.Time) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterByBBox keeps records inside the planar bounding box under the
+// given projection — cropping a city-wide trace to one district, the way
+// the paper's per-intersection studies cut the Shenzhen feed down.
+func FilterByBBox(recs []Record, proj *geo.Projection, bb geo.BBox) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if bb.Contains(proj.Forward(geo.Point{Lat: r.Lat, Lon: r.Lon})) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterByPlates keeps records of the listed plates.
+func FilterByPlates(recs []Record, plates ...string) []Record {
+	want := make(map[string]bool, len(plates))
+	for _, p := range plates {
+		want[p] = true
+	}
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if want[r.Plate] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GroupByPlate splits records per taxi, each group sorted by time, and
+// returns the plates in deterministic (sorted) order.
+func GroupByPlate(recs []Record) (map[string][]Record, []string) {
+	groups := make(map[string][]Record)
+	for _, r := range recs {
+		groups[r.Plate] = append(groups[r.Plate], r)
+	}
+	plates := make([]string, 0, len(groups))
+	for p, rs := range groups {
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time.Before(rs[j].Time) })
+		groups[p] = rs
+		plates = append(plates, p)
+	}
+	sort.Strings(plates)
+	return groups, plates
+}
+
+// SplitByDay partitions records into per-calendar-day slices (UTC),
+// returned in chronological day order — the unit the paper's multi-day
+// monitoring (Fig. 12) and day-over-day historical correction work with.
+func SplitByDay(recs []Record) [][]Record {
+	byDay := make(map[string][]Record)
+	var keys []string
+	for _, r := range recs {
+		k := r.Time.UTC().Format("2006-01-02")
+		if _, seen := byDay[k]; !seen {
+			keys = append(keys, k)
+		}
+		byDay[k] = append(byDay[k], r)
+	}
+	sort.Strings(keys)
+	out := make([][]Record, len(keys))
+	for i, k := range keys {
+		out[i] = byDay[k]
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"taxilight/internal/geo"
+)
+
+func filterFixture() []Record {
+	base := sampleRecord()
+	var out []Record
+	for i := 0; i < 10; i++ {
+		r := base
+		r.Plate = []string{"B1", "B2"}[i%2]
+		r.Time = base.Time.Add(time.Duration(i) * time.Hour * 4)
+		r.Lat = 22.54 + float64(i)*0.001
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestFilterByTime(t *testing.T) {
+	recs := filterFixture()
+	from := recs[2].Time
+	to := recs[5].Time
+	got := FilterByTime(recs, from, to)
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+	if !got[0].Time.Equal(from) {
+		t.Fatal("from boundary not inclusive")
+	}
+	for _, r := range got {
+		if r.Time.Before(from) || !r.Time.Before(to) {
+			t.Fatalf("record at %v outside [%v, %v)", r.Time, from, to)
+		}
+	}
+}
+
+func TestFilterByBBox(t *testing.T) {
+	recs := filterFixture()
+	proj := geo.NewProjection(geo.Point{Lat: 22.54, Lon: 114.125})
+	// Box covering roughly the first 3 records' latitudes.
+	lo := proj.Forward(geo.Point{Lat: 22.5395, Lon: 114.12})
+	hi := proj.Forward(geo.Point{Lat: 22.5425, Lon: 114.13})
+	bb := geo.NewBBox(lo, hi)
+	got := FilterByBBox(recs, proj, bb)
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+}
+
+func TestFilterByPlates(t *testing.T) {
+	recs := filterFixture()
+	got := FilterByPlates(recs, "B1")
+	if len(got) != 5 {
+		t.Fatalf("got %d, want 5", len(got))
+	}
+	for _, r := range got {
+		if r.Plate != "B1" {
+			t.Fatal("wrong plate kept")
+		}
+	}
+	if len(FilterByPlates(recs)) != 0 {
+		t.Fatal("no-plate filter should keep nothing")
+	}
+}
+
+func TestGroupByPlate(t *testing.T) {
+	recs := filterFixture()
+	// Shuffle order by reversing.
+	rev := make([]Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	groups, plates := GroupByPlate(rev)
+	if len(plates) != 2 || plates[0] != "B1" || plates[1] != "B2" {
+		t.Fatalf("plates = %v", plates)
+	}
+	for _, p := range plates {
+		rs := groups[p]
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Time.Before(rs[i-1].Time) {
+				t.Fatalf("group %s not time-sorted", p)
+			}
+		}
+	}
+}
+
+func TestSplitByDay(t *testing.T) {
+	recs := filterFixture() // 10 records at 4 h spacing from 15:22: spans 3 days
+	days := SplitByDay(recs)
+	if len(days) != 3 {
+		t.Fatalf("days = %d, want 3", len(days))
+	}
+	total := 0
+	for i, day := range days {
+		total += len(day)
+		if i > 0 {
+			prev := days[i-1][0].Time.UTC().Format("2006-01-02")
+			cur := day[0].Time.UTC().Format("2006-01-02")
+			if cur <= prev {
+				t.Fatal("days out of order")
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("records lost: %d of %d", total, len(recs))
+	}
+	if got := SplitByDay(nil); len(got) != 0 {
+		t.Fatal("empty input should give no days")
+	}
+}

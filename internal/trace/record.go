@@ -1,0 +1,184 @@
+// Package trace implements the taxi-trace data model of Table I in the
+// paper — the 12-field record every Shenzhen taxi uploads — together with
+// a CSV codec, the synthetic trace generator that samples the traffic
+// simulator the way real onboard units sample taxis (fixed per-taxi
+// intervals, GPS noise, packet loss, diurnal activity), and the Fig. 2
+// statistical summaries.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TimeLayout is the report-time format of Table I.
+const TimeLayout = "2006-01-02 15:04:05"
+
+// coordScale converts between degrees and the integer-microdegree wire
+// encoding of Table I (longitude x 1000000).
+const coordScale = 1e6
+
+// Record is one taxi report, mirroring Table I field for field.
+type Record struct {
+	Plate     string    // 1: car plate number
+	Lon       float64   // 2: longitude, degrees
+	Lat       float64   // 3: latitude, degrees
+	Time      time.Time // 4: report time
+	DeviceID  int64     // 5: onboard device ID
+	SpeedKMH  float64   // 6: driving speed, km/h
+	Heading   float64   // 7: degrees to north, clockwise
+	GPSOK     bool      // 8: GPS condition
+	Overspeed bool      // 9: overspeed warning
+	SIM       string    // 10: SIM card number
+	Occupied  bool      // 11: passenger condition
+	Color     string    // 12: taxi body colour
+}
+
+// SpeedMS returns the reported speed in metres per second.
+func (r Record) SpeedMS() float64 { return r.SpeedKMH / 3.6 }
+
+// Validate reports structural problems with the record.
+func (r Record) Validate() error {
+	switch {
+	case r.Plate == "":
+		return fmt.Errorf("trace: empty plate")
+	case r.Lat < -90 || r.Lat > 90 || r.Lon < -180 || r.Lon > 180:
+		return fmt.Errorf("trace: coordinates (%v, %v) out of range", r.Lat, r.Lon)
+	case r.SpeedKMH < 0:
+		return fmt.Errorf("trace: negative speed %v", r.SpeedKMH)
+	case r.Heading < 0 || r.Heading >= 360:
+		return fmt.Errorf("trace: heading %v outside [0, 360)", r.Heading)
+	case r.Time.IsZero():
+		return fmt.Errorf("trace: zero report time")
+	}
+	return nil
+}
+
+func boolDigit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// MarshalCSV renders the record as one Table-I CSV line (no newline).
+func (r Record) MarshalCSV() string {
+	return strings.Join([]string{
+		r.Plate,
+		strconv.FormatInt(int64(math.Round(r.Lon*coordScale)), 10),
+		strconv.FormatInt(int64(math.Round(r.Lat*coordScale)), 10),
+		r.Time.Format(TimeLayout),
+		strconv.FormatInt(r.DeviceID, 10),
+		strconv.FormatFloat(r.SpeedKMH, 'f', 1, 64),
+		strconv.FormatFloat(r.Heading, 'f', 1, 64),
+		boolDigit(r.GPSOK),
+		boolDigit(r.Overspeed),
+		r.SIM,
+		boolDigit(r.Occupied),
+		r.Color,
+	}, ",")
+}
+
+// UnmarshalCSV parses one Table-I CSV line into the record.
+func (r *Record) UnmarshalCSV(line string) error {
+	f := strings.Split(line, ",")
+	if len(f) != 12 {
+		return fmt.Errorf("trace: %d fields, want 12", len(f))
+	}
+	lonI, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("trace: longitude: %w", err)
+	}
+	latI, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("trace: latitude: %w", err)
+	}
+	ts, err := time.Parse(TimeLayout, f[3])
+	if err != nil {
+		return fmt.Errorf("trace: time: %w", err)
+	}
+	dev, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil {
+		return fmt.Errorf("trace: device: %w", err)
+	}
+	speed, err := strconv.ParseFloat(f[5], 64)
+	if err != nil {
+		return fmt.Errorf("trace: speed: %w", err)
+	}
+	heading, err := strconv.ParseFloat(f[6], 64)
+	if err != nil {
+		return fmt.Errorf("trace: heading: %w", err)
+	}
+	parseBit := func(s, name string) (bool, error) {
+		switch s {
+		case "0":
+			return false, nil
+		case "1":
+			return true, nil
+		}
+		return false, fmt.Errorf("trace: %s flag %q", name, s)
+	}
+	gps, err := parseBit(f[7], "gps")
+	if err != nil {
+		return err
+	}
+	over, err := parseBit(f[8], "overspeed")
+	if err != nil {
+		return err
+	}
+	occ, err := parseBit(f[10], "passenger")
+	if err != nil {
+		return err
+	}
+	*r = Record{
+		Plate: f[0], Lon: float64(lonI) / coordScale, Lat: float64(latI) / coordScale,
+		Time: ts, DeviceID: dev, SpeedKMH: speed, Heading: heading,
+		GPSOK: gps, Overspeed: over, SIM: f[9], Occupied: occ, Color: f[11],
+	}
+	return nil
+}
+
+// WriteCSV streams records to w, one per line.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range recs {
+		if _, err := bw.WriteString(r.MarshalCSV()); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses all records from r, skipping blank lines. Malformed
+// lines abort with a positional error: trace files are machine-generated,
+// so damage signals a real problem rather than dirty input to skip.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := rec.UnmarshalCSV(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Scanner streams Table-I records from a reader one at a time without
+// loading the whole trace into memory — a day of the real feed is ~10 GB,
+// so batch ReadCSV does not scale to production traces.
+//
+//	sc := trace.NewScanner(r)
+//	for sc.Scan() {
+//	    rec := sc.Record()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	sc     *bufio.Scanner
+	rec    Record
+	err    error
+	lineNo int
+}
+
+// NewScanner returns a streaming reader over r.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &Scanner{sc: sc}
+}
+
+// Scan advances to the next record. It returns false at EOF or on the
+// first malformed line; Err distinguishes the two.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := s.rec.UnmarshalCSV(line); err != nil {
+			s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
+			return false
+		}
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the record parsed by the last successful Scan. The
+// value is overwritten by the next Scan; copy it if it must outlive the
+// iteration step.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (s *Scanner) Err() error { return s.err }
+
+// OpenFile opens a trace file for streaming, transparently decompressing
+// ".gz" files. The returned closer must be closed by the caller.
+func OpenFile(path string) (*Scanner, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return NewScanner(f), f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: gzip: %w", err)
+	}
+	return NewScanner(zr), multiCloser{zr, f}, nil
+}
+
+// WriteFile writes records to path, gzip-compressing when the path ends
+// in ".gz".
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	if err := WriteCSV(w, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// multiCloser closes a stack of nested readers in order.
+type multiCloser []io.Closer
+
+// Close implements io.Closer, returning the first error.
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

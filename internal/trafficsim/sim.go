@@ -1,0 +1,670 @@
+// Package trafficsim is the microscopic traffic simulator substituting for
+// both the Shenzhen taxi fleet (trace generation) and SUMO (the navigation
+// demo). It advances a fleet of taxis over a roadnet.Network in fixed
+// 1-second ticks. Vehicles drive at free-flow speed, decelerate into FIFO
+// queues at red lights, discharge with a saturation headway when the light
+// turns green, and dwell at trip ends for passenger pick-up/drop-off —
+// the behaviours the paper's identification algorithms depend on (stop-at-
+// red visibility, periodic speed patterns, occupancy-change outliers).
+//
+// The design deliberately omits car-following between moving vehicles:
+// interaction happens only through signal queues. At the 20-second-mean
+// sampling rate and tens-of-metres GPS noise of the target traces, richer
+// dynamics are statistically invisible, while queue formation and
+// discharge — which carry the traffic-light periodicity — are modelled
+// explicitly.
+package trafficsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taxilight/internal/geo"
+	"taxilight/internal/lights"
+	"taxilight/internal/roadnet"
+)
+
+// Tick is the simulation step in seconds.
+const Tick = 1.0
+
+// Config parameterises a Simulator.
+type Config struct {
+	Net      *roadnet.Network
+	NumTaxis int
+	Seed     int64
+	// CarSpacing is the queue slot length per stopped vehicle in metres.
+	CarSpacing float64
+	// Headway is the queue discharge interval at green in seconds.
+	Headway float64
+	// Lanes is the number of parallel lanes per approach: each headway
+	// releases Lanes vehicles, and queued vehicles stack Lanes abreast.
+	// Urban arterials in the target city run 3-4 lanes per direction.
+	Lanes int
+	// Accel and Decel are comfortable rates in m/s².
+	Accel, Decel float64
+	// DwellMin/DwellMax bound the passenger pick-up/drop-off stop, seconds.
+	DwellMin, DwellMax float64
+	// DwellProb is the probability a finished trip ends with a kerbside
+	// dwell (otherwise the taxi rolls straight into the next trip).
+	DwellProb float64
+	// DwellSetbackMin/Max bound how far upstream of the destination
+	// intersection (metres) the kerbside stop happens: passengers board
+	// and alight mid-block, not on the stop line. Zero values disable
+	// the setback and dwell at the stop line.
+	DwellSetbackMin, DwellSetbackMax float64
+	// NodeWeights biases destination choice to recreate the paper's
+	// highly unbalanced per-intersection flows (Table II). Nil means
+	// uniform.
+	NodeWeights map[roadnet.NodeID]float64
+	// BackgroundRate adds invisible non-taxi traffic: a Poisson stream
+	// of background vehicles per signal approach (vehicles/second) that join the
+	// queues — occupying slots and discharge headways — but never emit
+	// records. In the real city taxis are a thin sample of the queue;
+	// zero disables the feature.
+	BackgroundRate float64
+	// StartTime is the epoch second at which the simulation begins.
+	StartTime float64
+}
+
+// DefaultConfig returns plausible urban parameters for the given network.
+func DefaultConfig(net *roadnet.Network) Config {
+	return Config{
+		Net:             net,
+		NumTaxis:        200,
+		Seed:            1,
+		CarSpacing:      7,
+		Headway:         2,
+		Lanes:           3,
+		Accel:           2.0,
+		Decel:           3.0,
+		DwellMin:        20,
+		DwellMax:        120,
+		DwellProb:       0.35,
+		DwellSetbackMin: 80,
+		DwellSetbackMax: 500,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Net == nil:
+		return fmt.Errorf("trafficsim: nil network")
+	case c.NumTaxis <= 0:
+		return fmt.Errorf("trafficsim: need at least one taxi, got %d", c.NumTaxis)
+	case c.CarSpacing <= 0 || c.Headway <= 0:
+		return fmt.Errorf("trafficsim: non-positive spacing/headway")
+	case c.Lanes < 1:
+		return fmt.Errorf("trafficsim: need at least one lane, got %d", c.Lanes)
+	case c.Accel <= 0 || c.Decel <= 0:
+		return fmt.Errorf("trafficsim: non-positive accel/decel")
+	case c.DwellMin < 0 || c.DwellMax < c.DwellMin:
+		return fmt.Errorf("trafficsim: bad dwell range [%v, %v]", c.DwellMin, c.DwellMax)
+	case c.DwellProb < 0 || c.DwellProb > 1:
+		return fmt.Errorf("trafficsim: dwell probability %v outside [0,1]", c.DwellProb)
+	case c.DwellSetbackMin < 0 || c.DwellSetbackMax < c.DwellSetbackMin:
+		return fmt.Errorf("trafficsim: bad dwell setback range [%v, %v]", c.DwellSetbackMin, c.DwellSetbackMax)
+	case c.BackgroundRate < 0 || c.BackgroundRate > 2:
+		return fmt.Errorf("trafficsim: background rate %v outside [0, 2] veh/s", c.BackgroundRate)
+	}
+	return nil
+}
+
+type vehPhase int
+
+const (
+	phaseDriving vehPhase = iota
+	phaseQueued
+	phaseDwelling
+)
+
+// vehicle is the private per-taxi state.
+type vehicle struct {
+	id        int
+	route     []roadnet.SegmentID
+	segIdx    int
+	dist      float64 // metres from segment start
+	speed     float64 // m/s
+	phase     vehPhase
+	dwellTill float64
+	occupied  bool
+	// background marks an invisible non-taxi vehicle that exists only
+	// inside a signal queue and vanishes once released.
+	background bool
+	queueIdx   int // position in the queue when phase == phaseQueued
+	// dwellAt is the kerbside stop position (metres from the start of
+	// the route's final segment), or -1 when no dwell is pending.
+	dwellAt float64
+}
+
+// queueKey identifies one signal approach queue.
+type queueKey struct {
+	node     roadnet.NodeID
+	approach lights.Approach
+}
+
+type signalQueue struct {
+	vehicles    []*vehicle
+	lastRelease float64
+}
+
+// VehicleStats aggregates one taxi's activity: completed trips, odometer
+// and a time-in-state breakdown. The sum of the three time buckets equals
+// the simulated horizon.
+type VehicleStats struct {
+	// Trips counts completed trips (arrivals at a destination node).
+	Trips int
+	// Distance is the odometer in metres.
+	Distance float64
+	// DriveTime, QueueTime and DwellTime split the taxi's simulated
+	// seconds by phase.
+	DriveTime, QueueTime, DwellTime float64
+}
+
+// State is the public per-taxi snapshot handed to observers (the trace
+// sampler, tests, the navigation evaluator).
+type State struct {
+	ID       int
+	Pos      geo.XY
+	SpeedMS  float64
+	Heading  float64
+	Occupied bool
+	Segment  roadnet.SegmentID
+	Stopped  bool
+}
+
+// Simulator advances the fleet. Create with New, call Step (or RunUntil),
+// read States.
+type Simulator struct {
+	cfg      Config
+	now      float64
+	vehicles []*vehicle
+	queues   map[queueKey]*signalQueue
+	// queueOrder lists queue keys in creation order so queue servicing
+	// is deterministic (map iteration order is randomised and would make
+	// rng consumption, and hence whole runs, irreproducible).
+	queueOrder []queueKey
+	stats      *statsCollector
+	// approaches lists every signal approach, for background arrivals.
+	approaches []queueKey
+	vstats     []VehicleStats
+	rng        *rand.Rand
+	// bgRng drives background arrivals separately so enabling them does
+	// not perturb the taxi randomness stream.
+	bgRng   *rand.Rand
+	weights []float64 // cumulative node weights for destination sampling
+	wTotal  float64
+}
+
+// New builds a simulator with taxis placed on random segments.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		now:    cfg.StartTime,
+		queues: make(map[queueKey]*signalQueue),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		bgRng:  rand.New(rand.NewSource(cfg.Seed + 777)),
+	}
+	if cfg.BackgroundRate > 0 {
+		for _, nd := range cfg.Net.SignalisedNodes() {
+			s.approaches = append(s.approaches,
+				queueKey{node: nd.ID, approach: lights.NorthSouth},
+				queueKey{node: nd.ID, approach: lights.EastWest})
+		}
+	}
+	s.buildWeights()
+	for i := 0; i < cfg.NumTaxis; i++ {
+		v := &vehicle{id: i}
+		s.assignNewTrip(v, s.randomNode())
+		// Scatter along the first segment so the fleet does not start
+		// phase-locked.
+		seg := cfg.Net.Segment(v.route[v.segIdx])
+		v.dist = s.rng.Float64() * seg.Length()
+		v.speed = s.rng.Float64() * seg.SpeedLimit
+		s.vehicles = append(s.vehicles, v)
+	}
+	s.vstats = make([]VehicleStats, cfg.NumTaxis)
+	return s, nil
+}
+
+func (s *Simulator) buildWeights() {
+	n := s.cfg.Net.NumNodes()
+	s.weights = make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s.cfg.NodeWeights != nil {
+			if ww, ok := s.cfg.NodeWeights[roadnet.NodeID(i)]; ok {
+				w = ww
+			}
+		}
+		if w < 0 {
+			w = 0
+		}
+		acc += w
+		s.weights[i] = acc
+	}
+	s.wTotal = acc
+}
+
+func (s *Simulator) randomNode() roadnet.NodeID {
+	x := s.rng.Float64() * s.wTotal
+	lo, hi := 0, len(s.weights)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.weights[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return roadnet.NodeID(lo)
+}
+
+// assignNewTrip routes v from the given origin to a fresh weighted-random
+// destination, toggling occupancy.
+func (s *Simulator) assignNewTrip(v *vehicle, from roadnet.NodeID) {
+	for attempt := 0; ; attempt++ {
+		dst := s.randomNode()
+		if dst == from {
+			continue
+		}
+		r, err := s.cfg.Net.ShortestPath(from, dst, func(sg *roadnet.Segment) float64 { return sg.Length() })
+		if err != nil || len(r.Segments) == 0 {
+			if attempt > 50 {
+				// Pathological network: keep the taxi parked on any
+				// outgoing segment so the simulation can proceed.
+				out := s.cfg.Net.Node(from).Out
+				v.route = []roadnet.SegmentID{out[0]}
+				break
+			}
+			continue
+		}
+		v.route = r.Segments
+		break
+	}
+	v.segIdx = 0
+	v.dist = 0
+	v.phase = phaseDriving
+	v.occupied = !v.occupied
+	v.dwellAt = -1
+	s.maybeArmDwell(v)
+}
+
+// maybeArmDwell decides, when v enters the final segment of its route,
+// whether the trip ends with a kerbside dwell and where on the block the
+// kerb stop happens.
+func (s *Simulator) maybeArmDwell(v *vehicle) {
+	if v.segIdx != len(v.route)-1 || v.dwellAt >= 0 {
+		return
+	}
+	if s.rng.Float64() >= s.cfg.DwellProb {
+		return
+	}
+	seg := s.cfg.Net.Segment(v.route[v.segIdx])
+	setback := s.cfg.DwellSetbackMin + s.rng.Float64()*(s.cfg.DwellSetbackMax-s.cfg.DwellSetbackMin)
+	at := seg.Length() - setback
+	if at < 5 {
+		at = 5
+	}
+	if at > seg.Length()-5 {
+		at = seg.Length() - 5
+	}
+	v.dwellAt = at
+}
+
+// Now returns the current simulation time (epoch seconds).
+func (s *Simulator) Now() float64 { return s.now }
+
+// NumVehicles returns the fleet size.
+func (s *Simulator) NumVehicles() int { return len(s.vehicles) }
+
+// Step advances the simulation by one tick.
+func (s *Simulator) Step() {
+	s.now += Tick
+	s.releaseQueues()
+	s.spawnBackground()
+	for _, v := range s.vehicles {
+		s.stepVehicle(v)
+	}
+}
+
+// spawnBackground injects invisible non-taxi vehicles into signal queues.
+// An arrival only materialises when it would actually have to queue (the
+// light is red or a queue is still discharging); free-flowing background
+// traffic is irrelevant to every observable quantity.
+func (s *Simulator) spawnBackground() {
+	if s.cfg.BackgroundRate <= 0 {
+		return
+	}
+	p := s.cfg.BackgroundRate * Tick
+	for _, key := range s.approaches {
+		if s.bgRng.Float64() >= p {
+			continue
+		}
+		node := s.cfg.Net.Node(key.node)
+		q := s.queues[key]
+		queued := q != nil && len(q.vehicles) > 0
+		if node.Light.StateFor(key.approach, s.now) != lights.Red && !queued {
+			continue
+		}
+		if q == nil {
+			q = &signalQueue{}
+			s.queues[key] = q
+			s.queueOrder = append(s.queueOrder, key)
+		}
+		v := &vehicle{id: -1, background: true, phase: phaseQueued, queueIdx: len(q.vehicles)}
+		q.vehicles = append(q.vehicles, v)
+	}
+}
+
+// RunUntil steps until the simulation clock reaches t (epoch seconds).
+func (s *Simulator) RunUntil(t float64) {
+	for s.now < t {
+		s.Step()
+	}
+}
+
+// releaseQueues discharges the head vehicle of every green approach whose
+// headway has elapsed.
+func (s *Simulator) releaseQueues() {
+	for _, key := range s.queueOrder {
+		q := s.queues[key]
+		if len(q.vehicles) == 0 {
+			continue
+		}
+		node := s.cfg.Net.Node(key.node)
+		if node.Light == nil || node.Light.StateFor(key.approach, s.now) != lights.Green {
+			continue
+		}
+		if s.now-q.lastRelease < s.cfg.Headway {
+			continue
+		}
+		// One headway releases a full rank: Lanes vehicles abreast.
+		nRelease := s.cfg.Lanes
+		if nRelease > len(q.vehicles) {
+			nRelease = len(q.vehicles)
+		}
+		released := q.vehicles[:nRelease]
+		q.vehicles = q.vehicles[nRelease:]
+		q.lastRelease = s.now
+		for i, v := range q.vehicles {
+			v.queueIdx = i
+		}
+		for _, head := range released {
+			if head.background {
+				continue // vanishes beyond the stop line
+			}
+			if s.stats != nil {
+				s.stats.noteRelease(key, head.id, s.now)
+			}
+			s.crossIntersection(head)
+		}
+	}
+}
+
+// crossIntersection moves v past the node at the end of its current
+// segment, either onto the next route segment or into trip-end handling.
+func (s *Simulator) crossIntersection(v *vehicle) {
+	v.phase = phaseDriving
+	v.speed = 0 // pulls away from standstill
+	if v.segIdx+1 < len(v.route) {
+		v.segIdx++
+		v.dist = 0
+		s.maybeArmDwell(v)
+		return
+	}
+	s.finishTrip(v)
+}
+
+// finishTrip handles a vehicle reaching its destination node. Kerbside
+// dwells happen mid-block (see maybeArmDwell), so the trip end itself
+// rolls straight into the next trip.
+func (s *Simulator) finishTrip(v *vehicle) {
+	if v.id >= 0 && v.id < len(s.vstats) {
+		s.vstats[v.id].Trips++
+	}
+	endNode := s.cfg.Net.Segment(v.route[v.segIdx]).To
+	s.assignNewTrip(v, endNode)
+}
+
+// startDwell parks v at the kerb for a random dwell and flips occupancy
+// (the passenger leaves or boards at the kerb).
+func (s *Simulator) startDwell(v *vehicle) {
+	v.phase = phaseDwelling
+	v.speed = 0
+	v.dwellTill = s.now + s.cfg.DwellMin + s.rng.Float64()*(s.cfg.DwellMax-s.cfg.DwellMin)
+	v.occupied = !v.occupied
+	v.dwellAt = -1
+}
+
+func (s *Simulator) stepVehicle(v *vehicle) {
+	if v.id >= 0 && v.id < len(s.vstats) {
+		st := &s.vstats[v.id]
+		switch v.phase {
+		case phaseDwelling:
+			st.DwellTime += Tick
+		case phaseQueued:
+			st.QueueTime += Tick
+		default:
+			st.DriveTime += Tick
+		}
+	}
+	switch v.phase {
+	case phaseDwelling:
+		if s.now >= v.dwellTill {
+			// Pull back into traffic and continue to the trip's end node.
+			v.phase = phaseDriving
+			v.speed = 0
+		}
+		return
+	case phaseQueued:
+		s.creepForward(v)
+		return
+	}
+	// phaseDriving.
+	seg := s.cfg.Net.Segment(v.route[v.segIdx])
+	v.speed = minf(seg.SpeedLimit, v.speed+s.cfg.Accel*Tick)
+
+	// A pending kerbside dwell interrupts the drive mid-block.
+	if v.dwellAt >= 0 && v.segIdx == len(v.route)-1 && v.dist < v.dwellAt {
+		if v.dist+v.speed*Tick >= v.dwellAt {
+			v.dist = v.dwellAt
+			s.startDwell(v)
+			return
+		}
+	}
+
+	stopAt, mustStop := s.stopTarget(v, seg)
+	if mustStop {
+		remaining := stopAt - v.dist
+		if remaining <= 0.5 {
+			s.joinQueue(v, seg)
+			return
+		}
+		// Decelerate so that speed² <= 2·decel·remaining.
+		vmax := sqrt2ad(s.cfg.Decel, remaining)
+		if v.speed > vmax {
+			v.speed = maxf(0, v.speed-s.cfg.Decel*Tick)
+		}
+		v.dist += v.speed * Tick
+		if v.id >= 0 && v.id < len(s.vstats) {
+			s.vstats[v.id].Distance += v.speed * Tick
+		}
+		if v.dist >= stopAt {
+			v.dist = stopAt
+			s.joinQueue(v, seg)
+		}
+		return
+	}
+	v.dist += v.speed * Tick
+	if v.id >= 0 && v.id < len(s.vstats) {
+		s.vstats[v.id].Distance += v.speed * Tick
+	}
+	if v.dist >= seg.Length() {
+		carry := v.dist - seg.Length()
+		if v.segIdx+1 < len(v.route) {
+			v.segIdx++
+			v.dist = carry
+			return
+		}
+		s.finishTrip(v)
+	}
+}
+
+// stopTarget decides whether v must stop before the end of seg and where.
+// A stop is required when the node ahead is signalised and either shows
+// red for this approach or still has a discharging queue.
+func (s *Simulator) stopTarget(v *vehicle, seg *roadnet.Segment) (float64, bool) {
+	node := s.cfg.Net.Node(seg.To)
+	if node.Light == nil {
+		return 0, false
+	}
+	key := queueKey{node: seg.To, approach: seg.Approach()}
+	q := s.queues[key]
+	queued := 0
+	if q != nil {
+		queued = len(q.vehicles)
+	}
+	red := node.Light.StateFor(seg.Approach(), s.now) == lights.Red
+	if !red && queued == 0 {
+		return 0, false
+	}
+	stop := seg.Length() - float64(queued/s.cfg.Lanes)*s.cfg.CarSpacing
+	if stop < 0 {
+		stop = 0
+	}
+	return stop, true
+}
+
+func (s *Simulator) joinQueue(v *vehicle, seg *roadnet.Segment) {
+	key := queueKey{node: seg.To, approach: seg.Approach()}
+	q := s.queues[key]
+	if q == nil {
+		q = &signalQueue{}
+		s.queues[key] = q
+		s.queueOrder = append(s.queueOrder, key)
+	}
+	v.phase = phaseQueued
+	v.speed = 0
+	v.queueIdx = len(q.vehicles)
+	q.vehicles = append(q.vehicles, v)
+	if s.stats != nil && !v.background {
+		s.stats.noteJoin(key, v.id, s.now, len(q.vehicles))
+	}
+	v.dist = seg.Length() - float64(v.queueIdx/s.cfg.Lanes)*s.cfg.CarSpacing
+	if v.dist < 0 {
+		v.dist = 0
+	}
+}
+
+// creepForward advances a queued vehicle toward its (possibly updated)
+// hold position after cars ahead have been released.
+func (s *Simulator) creepForward(v *vehicle) {
+	seg := s.cfg.Net.Segment(v.route[v.segIdx])
+	hold := seg.Length() - float64(v.queueIdx/s.cfg.Lanes)*s.cfg.CarSpacing
+	if hold < 0 {
+		hold = 0
+	}
+	if v.dist < hold {
+		const creepSpeed = 3.0 // m/s, stop-and-go crawl
+		v.dist = minf(hold, v.dist+creepSpeed*Tick)
+		v.speed = creepSpeed
+		if v.dist >= hold {
+			v.speed = 0
+		}
+	} else {
+		v.speed = 0
+	}
+}
+
+// States returns the current public snapshot of every taxi. The slice is
+// freshly allocated; callers may keep it.
+func (s *Simulator) States() []State {
+	out := make([]State, len(s.vehicles))
+	for i, v := range s.vehicles {
+		seg := s.cfg.Net.Segment(v.route[v.segIdx])
+		frac := 0.0
+		if l := seg.Length(); l > 0 {
+			frac = v.dist / l
+		}
+		out[i] = State{
+			ID:       v.id,
+			Pos:      seg.PointAt(clamp01(frac)),
+			SpeedMS:  v.speed,
+			Heading:  seg.Heading(),
+			Occupied: v.occupied,
+			Segment:  seg.ID,
+			Stopped:  v.speed == 0,
+		}
+	}
+	return out
+}
+
+// VehicleStats returns the accumulated statistics of taxi id.
+func (s *Simulator) VehicleStats(id int) VehicleStats {
+	if id < 0 || id >= len(s.vstats) {
+		return VehicleStats{}
+	}
+	return s.vstats[id]
+}
+
+// FleetStats returns the fleet-wide aggregate statistics.
+func (s *Simulator) FleetStats() VehicleStats {
+	var out VehicleStats
+	for _, st := range s.vstats {
+		out.Trips += st.Trips
+		out.Distance += st.Distance
+		out.DriveTime += st.DriveTime
+		out.QueueTime += st.QueueTime
+		out.DwellTime += st.DwellTime
+	}
+	return out
+}
+
+// QueueLength reports the current queue size at a signal approach, an
+// oracle for tests and experiments.
+func (s *Simulator) QueueLength(node roadnet.NodeID, a lights.Approach) int {
+	q := s.queues[queueKey{node: node, approach: a}]
+	if q == nil {
+		return 0
+	}
+	return len(q.vehicles)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// sqrt2ad returns sqrt(2·a·d), the maximum speed from which a vehicle can
+// stop within distance d at deceleration a.
+func sqrt2ad(a, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * a * d)
+}
