@@ -40,6 +40,8 @@ func main() {
 	truthFile := flag.String("truth", "", "optional ground-truth schedule file (from tracegen) to score against")
 	osmFile := flag.String("osm", "", "OpenStreetMap XML extract to use as the road network instead of the synthetic grid")
 	netFile := flag.String("network", "", "network file written by tracegen -network (preferred over -rows/-cols/-seed)")
+	lenient := flag.Bool("lenient", false, "skip malformed trace lines instead of aborting; counts them per error class")
+	maxBadFrac := flag.Float64("max-bad-frac", 0.05, "with -lenient, abort once this fraction of lines is malformed")
 	flag.Parse()
 	if *traceFile == "" {
 		flag.Usage()
@@ -48,6 +50,11 @@ func main() {
 	sc, closer, err := trace.OpenFile(*traceFile)
 	if err != nil {
 		fatal(err)
+	}
+	if *lenient {
+		lcfg := trace.DefaultLenientConfig()
+		lcfg.MaxBadFraction = *maxBadFrac
+		sc.SetLenient(lcfg)
 	}
 	var records []trace.Record
 	for sc.Scan() {
@@ -59,7 +66,12 @@ func main() {
 	if err := closer.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loaded %d records\n", len(records))
+	if st := sc.Stats(); *lenient && st.Skipped > 0 {
+		fmt.Printf("loaded %d records (skipped %d of %d malformed lines: %v)\n",
+			len(records), st.Skipped, st.Lines, st.ByClass)
+	} else {
+		fmt.Printf("loaded %d records\n", len(records))
+	}
 
 	var net *roadnet.Network
 	if *netFile != "" {

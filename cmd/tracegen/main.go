@@ -2,9 +2,17 @@
 // Table-I CSV format, together with a ground-truth schedule file, so the
 // identification pipeline can be exercised and scored offline.
 //
+// The -fault-* flags run the trace through the internal/faults injectors
+// before writing, producing a reproducible hostile feed: CSV byte
+// corruption, duplicated and out-of-order delivery, per-device clock
+// skew, frozen-GPS runs, teleporting fixes and bursty drop. -hostile
+// enables all of them at the reference rates.
+//
 // Usage:
 //
 //	tracegen -taxis 300 -hours 1 -rows 4 -cols 4 -o trace.csv -truth truth.csv
+//	tracegen -hostile -o hostile.csv.gz            # reference hostile feed
+//	tracegen -fault-corrupt 0.02 -fault-dup 0.1 -o dirty.csv
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 
 	"taxilight/internal/experiments"
+	"taxilight/internal/faults"
 	"taxilight/internal/lights"
 	"taxilight/internal/roadnet"
 	"taxilight/internal/trace"
@@ -28,6 +37,21 @@ func main() {
 	out := flag.String("o", "trace.csv", "output trace file (Table-I CSV; .gz compresses)")
 	truthOut := flag.String("truth", "", "optional ground-truth schedule file")
 	netOut := flag.String("network", "", "optional network file (complete map + light ground truth)")
+
+	hostile := flag.Bool("hostile", false, "enable every fault injector at the reference hostile rates")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (independent of -seed)")
+	corrupt := flag.Float64("fault-corrupt", 0, "per-line CSV byte-corruption probability")
+	dup := flag.Float64("fault-dup", 0, "per-record duplication probability")
+	reorder := flag.Float64("fault-reorder", 0, "per-record out-of-order delivery probability")
+	reorderDelay := flag.Int("fault-reorder-delay", 20, "max records a reordered record is delayed by")
+	skew := flag.Float64("fault-skew", 0, "per-device clock-skew probability")
+	skewMax := flag.Float64("fault-skew-max", 30, "max clock skew, seconds")
+	freeze := flag.Float64("fault-freeze", 0, "per-record frozen-GPS run-start probability")
+	freezeRun := flag.Int("fault-freeze-run", 5, "max reports in one frozen-GPS run")
+	teleport := flag.Float64("fault-teleport", 0, "per-record teleporting-fix probability")
+	teleportM := flag.Float64("fault-teleport-m", 800, "max teleport displacement, metres")
+	burstDrop := flag.Float64("fault-burstdrop", 0, "per-record drop-burst-start probability")
+	burstLen := flag.Int("fault-burst-len", 10, "max reports lost in one drop burst")
 	flag.Parse()
 
 	cfg := experiments.DefaultWorldConfig()
@@ -40,11 +64,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// WriteFile gzip-compresses automatically when the path ends in .gz.
-	if err := trace.WriteFile(*out, world.Records); err != nil {
-		fatal(err)
+
+	fcfg := faults.Config{
+		Seed:            *faultSeed,
+		CorruptProb:     *corrupt,
+		DupProb:         *dup,
+		ReorderProb:     *reorder,
+		ReorderMaxDelay: *reorderDelay,
+		SkewProb:        *skew,
+		SkewMaxSeconds:  *skewMax,
+		FreezeProb:      *freeze,
+		FreezeMaxRun:    *freezeRun,
+		TeleportProb:    *teleport,
+		TeleportMeters:  *teleportM,
+		BurstDropProb:   *burstDrop,
+		BurstDropMaxLen: *burstLen,
 	}
-	fmt.Printf("wrote %d records to %s\n", len(world.Records), *out)
+	if *hostile {
+		fcfg = faults.DefaultHostileConfig()
+		fcfg.Seed = *faultSeed
+	}
+	active := fcfg.CorruptProb > 0 || fcfg.DupProb > 0 || fcfg.ReorderProb > 0 ||
+		fcfg.SkewProb > 0 || fcfg.FreezeProb > 0 || fcfg.TeleportProb > 0 ||
+		fcfg.BurstDropProb > 0
+	if !active {
+		// Clean feed: the plain writer (gzip-aware via the path suffix).
+		if err := trace.WriteFile(*out, world.Records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(world.Records), *out)
+	} else {
+		p, err := faults.New(fcfg)
+		if err != nil {
+			fatal(err)
+		}
+		recs := p.Apply(world.Records)
+		if err := p.WriteFile(*out, recs); err != nil {
+			fatal(err)
+		}
+		st := p.Stats()
+		fmt.Printf("wrote %d records to %s (faulted from %d clean)\n", len(recs), *out, st.Records)
+		fmt.Printf("faults: %d duplicated, %d reordered, %d dropped, %d frozen, %d teleported, %d skewed devices, %d corrupted lines\n",
+			st.Duplicated, st.Reordered, st.Dropped, st.Frozen, st.Teleported, st.SkewedDevices, st.CorruptedLines)
+	}
 
 	if *netOut != "" {
 		nf, err := os.Create(*netOut)

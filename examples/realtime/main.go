@@ -1,16 +1,21 @@
-// Realtime: the streaming identification service. Records are ingested
-// as they arrive (five-minute batches here), the engine re-identifies
-// every light over a trailing 30-minute window, and afterwards the
-// engine answers the live question the paper's applications need:
-// "is this light red right now?" — scored against ground truth.
+// Realtime: the streaming identification service under fire. The clean
+// simulated feed is run through the internal/faults injectors —
+// duplication, out-of-order delivery, clock skew, frozen GPS,
+// teleporting fixes and drop bursts — before ingestion, the engine
+// re-identifies every light over a trailing 30-minute window, and
+// afterwards answers the live question the paper's applications need
+// ("is this light red right now?"), scored against ground truth and
+// annotated with each approach's health state.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"taxilight/internal/core"
 	"taxilight/internal/experiments"
+	"taxilight/internal/faults"
 	"taxilight/internal/mapmatch"
 )
 
@@ -21,12 +26,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Flatten the partition back into a time-ordered stream, as a live
-	// feed would deliver it.
-	var stream []mapmatch.Matched
-	for _, ms := range world.Part {
-		stream = append(stream, ms...)
+
+	// Make the feed hostile (reproducibly), then re-match it: a
+	// teleported fix may match a different road, a frozen one fabricates
+	// stops — exactly what the engine must absorb in production.
+	injector, err := faults.New(faults.DefaultHostileConfig())
+	if err != nil {
+		log.Fatal(err)
 	}
+	dirty := injector.Apply(world.Records)
+	var stream []mapmatch.Matched
+	for _, rec := range dirty {
+		if m, ok := world.Matcher.Match(rec); ok {
+			stream = append(stream, m)
+		}
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].T < stream[j].T })
+	st := injector.Stats()
+	fmt.Printf("hostile feed: %d clean -> %d records (%d dup, %d reordered, %d dropped, %d frozen, %d teleported, %d skewed devices)\n\n",
+		st.Records, st.Emitted, st.Duplicated, st.Reordered, st.Dropped, st.Frozen, st.Teleported, st.SkewedDevices)
 
 	engine, err := core.NewEngine(core.DefaultRealtimeConfig())
 	if err != nil {
@@ -34,42 +52,57 @@ func main() {
 	}
 	// Ingest in 5-minute batches, advancing the engine clock after each.
 	const batch = 300.0
+	idx := 0
 	for at := batch; at <= cfg.Horizon; at += batch {
 		var chunk []mapmatch.Matched
-		for _, m := range stream {
-			if m.T > at-batch && m.T <= at {
-				chunk = append(chunk, m)
-			}
+		for idx < len(stream) && stream[idx].T <= at {
+			chunk = append(chunk, stream[idx])
+			idx++
 		}
 		engine.Ingest(chunk)
 		changes, err := engine.Advance(at)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("t=%4.0f min: ingested %5d records, %d lights estimated",
-			at/60, len(chunk), len(engine.Snapshot()))
+		fresh := 0
+		for _, est := range engine.Snapshot() {
+			if est.Health == core.Fresh {
+				fresh++
+			}
+		}
+		fmt.Printf("t=%4.0f min: ingested %5d records, %d lights estimated (%d fresh)",
+			at/60, len(chunk), len(engine.Snapshot()), fresh)
 		if len(changes) > 0 {
 			fmt.Printf(", %d scheduling changes", len(changes))
 		}
 		fmt.Println()
 	}
 
-	// Live red/green answers for the next two minutes, scored.
+	// Live red/green answers for the next two minutes, scored, with the
+	// health state each answer was served under.
 	ok, total := 0, 0
+	byHealth := map[core.HealthState]int{}
 	for key := range engine.Snapshot() {
 		truthLight := world.Net.Node(key.Light).Light
 		for dt := 0.0; dt < 120; dt += 5 {
 			at := cfg.Horizon + dt
-			state, answered := engine.StateOf(key, at)
+			state, health, answered := engine.StateOfHealth(key, at)
 			if !answered {
 				continue
 			}
 			total++
+			byHealth[health.State]++
 			if state == truthLight.StateFor(key.Approach, at) {
 				ok++
 			}
 		}
 	}
-	fmt.Printf("\nlive state queries after the stream: %d/%d correct (%.1f%%)\n",
-		ok, total, 100*float64(ok)/float64(total))
+	fmt.Printf("\nlive state queries after the hostile stream: %d/%d correct (%.1f%%), served %v\n",
+		ok, total, 100*float64(ok)/float64(total), byHealth)
+
+	// The degraded-operation report a production operator would watch.
+	rep := engine.Health()
+	fmt.Printf("health: %d approaches tracked, %d records buffered, %d dropped old, %d dropped overflow, %d quarantined\n",
+		len(rep.Approaches), rep.BufferedRecords, rep.DroppedOldRecords,
+		rep.DroppedOverflowRecords, len(rep.QuarantinedKeys()))
 }

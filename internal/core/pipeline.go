@@ -263,7 +263,7 @@ func RunPipeline(part mapmatch.Partition, t0, t1 float64, cfg PipelineConfig) (m
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = identifyOne(part, stopIdx, keys[i], t0, t1, cfg)
+				results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg)
 			}
 		}()
 	}
@@ -277,6 +277,31 @@ func RunPipeline(part mapmatch.Partition, t0, t1 float64, cfg PipelineConfig) (m
 		out[k] = results[i]
 	}
 	return out, nil
+}
+
+// identifyHook, when non-nil, runs at the start of every per-approach
+// identification. It exists solely so tests can provoke a panic inside
+// one approach and prove the blast radius stays contained.
+var identifyHook func(key mapmatch.Key)
+
+// identifyOneSafe contains a panic in one approach's identification to
+// that approach: hostile data must never let one light take down the
+// estimation round for every other light. The panic is converted into
+// the approach's Result.Err, which the realtime engine's quarantine
+// ledger then handles like any other per-approach failure.
+func identifyOneSafe(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Key: key, WindowStart: t0, WindowEnd: t1,
+				Err: fmt.Errorf("core: identification panic for %v/%v: %v", key.Light, key.Approach, r),
+			}
+		}
+	}()
+	if identifyHook != nil {
+		identifyHook(key)
+	}
+	return identifyOne(part, stopIdx, key, t0, t1, cfg)
 }
 
 // identifyOne runs the full single-light procedure for one approach.

@@ -36,6 +36,10 @@ type RealtimeConfig struct {
 	// otherwise report phantom changes. Estimates below the gate are
 	// still published in Snapshot.
 	MinQuality float64
+	// Faults is the failure-isolation policy: per-key buffer caps,
+	// quarantine-with-backoff for repeatedly failing approaches, and the
+	// staleness threshold behind the Fresh/Stale health states.
+	Faults FaultPolicy
 }
 
 // DefaultRealtimeConfig matches the paper's cadence.
@@ -49,6 +53,7 @@ func DefaultRealtimeConfig() RealtimeConfig {
 		UseHistory:  true,
 		MinCoverage: 0.8,
 		MinQuality:  0.02,
+		Faults:      DefaultFaultPolicy(),
 	}
 }
 
@@ -74,6 +79,9 @@ func (c RealtimeConfig) Validate() error {
 	if c.MinQuality < 0 {
 		return fmt.Errorf("core: negative MinQuality %v", c.MinQuality)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -98,6 +106,12 @@ type Engine struct {
 	estimates map[mapmatch.Key]Result
 	monitors  map[mapmatch.Key]*Monitor
 	histories map[mapmatch.Key]*History
+
+	// Failure-isolation state: per-approach ledgers plus engine-wide
+	// dropped-record counters (see Health).
+	health          map[mapmatch.Key]*approachHealth
+	droppedOld      int64
+	droppedOverflow int64
 }
 
 // NewEngine returns an idle engine.
@@ -111,18 +125,50 @@ func NewEngine(cfg RealtimeConfig) (*Engine, error) {
 		estimates: map[mapmatch.Key]Result{},
 		monitors:  map[mapmatch.Key]*Monitor{},
 		histories: map[mapmatch.Key]*History{},
+		health:    map[mapmatch.Key]*approachHealth{},
 	}, nil
 }
 
 // Ingest adds matched records to the stream buffers. Records may arrive
 // in any order; they are sorted per partition lazily at estimation time.
+// Two bounds keep memory finite however hostile the feed: records
+// already older than the trim cutoff are rejected immediately instead of
+// buffering until the next Advance, and each approach's buffer is capped
+// at Faults.MaxBufferPerKey, evicting the oldest quarter on overflow.
+// Both drop paths are counted in Health.
 func (e *Engine) Ingest(ms []mapmatch.Matched) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	cutoff := e.now - 2*e.cfg.Window
+	maxPerKey := e.cfg.Faults.MaxBufferPerKey
 	for _, m := range ms {
+		if m.T < cutoff {
+			e.droppedOld++
+			continue
+		}
 		k := mapmatch.Key{Light: m.Light, Approach: m.Approach}
+		if maxPerKey > 0 && len(e.buf[k]) >= maxPerKey {
+			e.evictOldestLocked(k, maxPerKey)
+		}
 		e.buf[k] = append(e.buf[k], m)
 	}
+}
+
+// evictOldestLocked drops the oldest quarter of one key's buffer so that
+// eviction cost is amortised across many overflowing records rather than
+// paid per record.
+func (e *Engine) evictOldestLocked(k mapmatch.Key, maxPerKey int) {
+	ms := e.buf[k]
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
+	drop := len(ms) - maxPerKey*3/4
+	if drop < 1 {
+		drop = 1
+	}
+	if drop > len(ms) {
+		drop = len(ms)
+	}
+	e.droppedOverflow += int64(drop)
+	e.buf[k] = append(ms[:0:0], ms[drop:]...)
 }
 
 // Advance moves the stream clock to t (seconds), running identification
@@ -152,11 +198,17 @@ func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
 }
 
 // estimateLocked re-identifies every approach over [at-Window, at].
+// Quarantined approaches are skipped entirely — their buffers keep
+// filling so a recovered approach re-estimates immediately on release,
+// but no pipeline work is spent on a key that keeps failing.
 func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
 	t0 := at - e.cfg.Window
 	view := mapmatch.Partition{}
 	earliest := math.Inf(1)
 	for k, ms := range e.buf {
+		if h := e.health[k]; h != nil && h.quarantinedUntil > at {
+			continue
+		}
 		sort.SliceStable(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
 		e.buf[k] = ms
 		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= t0 })
@@ -188,8 +240,13 @@ func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
 	for _, k := range keys {
 		res := results[k]
 		if res.Err != nil {
+			// Contained failure: the ledger decides whether this key is
+			// quarantined; every other approach proceeds untouched and
+			// the last good estimate stays published.
+			e.recordFailureLocked(k, at, res.Err)
 			continue
 		}
+		e.recordSuccessLocked(k, at)
 		if e.cfg.UseHistory {
 			h := e.histories[k]
 			if h == nil {
@@ -234,13 +291,29 @@ func (e *Engine) trimLocked() {
 	}
 }
 
-// Snapshot returns a copy of the latest per-approach estimates.
-func (e *Engine) Snapshot() map[mapmatch.Key]Result {
+// Estimate is one published approach estimate together with its serving
+// condition: how old it is and whether the approach is currently fresh,
+// stale or quarantined.
+type Estimate struct {
+	Result
+	// Age is seconds between the engine clock and the estimate's window
+	// end — how outdated the answer is.
+	Age float64
+	// Health is the approach's current serving condition.
+	Health HealthState
+}
+
+// Snapshot returns a copy of the latest per-approach estimates, each
+// annotated with its age and health state. Quarantined and stale
+// approaches keep their last good estimate published — degraded answers
+// stay available, flagged.
+func (e *Engine) Snapshot() map[mapmatch.Key]Estimate {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := make(map[mapmatch.Key]Result, len(e.estimates))
+	out := make(map[mapmatch.Key]Estimate, len(e.estimates))
 	for k, v := range e.estimates {
-		out[k] = v
+		age := e.now - v.WindowEnd
+		out[k] = Estimate{Result: v, Age: age, Health: e.healthStateLocked(k, age)}
 	}
 	return out
 }
@@ -249,11 +322,23 @@ func (e *Engine) Snapshot() map[mapmatch.Key]Result {
 // or green at time t? — from the latest estimate. ok is false when the
 // approach has no estimate yet.
 func (e *Engine) StateOf(key mapmatch.Key, t float64) (lights.State, bool) {
+	state, _, ok := e.StateOfHealth(key, t)
+	return state, ok
+}
+
+// StateOfHealth is StateOf plus the approach's health snapshot, so a
+// consumer can weigh a red/green answer by how degraded its source is
+// (EstimateAge, Stale/Quarantined state, failure counts).
+func (e *Engine) StateOfHealth(key mapmatch.Key, t float64) (lights.State, ApproachHealth, bool) {
 	e.mu.RLock()
 	res, ok := e.estimates[key]
+	var h ApproachHealth
+	if ok {
+		h = e.approachHealthLocked(key)
+	}
 	e.mu.RUnlock()
 	if !ok || res.Cycle <= 0 {
-		return lights.Red, false
+		return lights.Red, h, false
 	}
 	// The estimate anchors the red phase at WindowStart+GreenToRedPhase.
 	phase := math.Mod(t-(res.WindowStart+res.GreenToRedPhase), res.Cycle)
@@ -261,9 +346,9 @@ func (e *Engine) StateOf(key mapmatch.Key, t float64) (lights.State, bool) {
 		phase += res.Cycle
 	}
 	if phase < res.Red {
-		return lights.Red, true
+		return lights.Red, h, true
 	}
-	return lights.Green, true
+	return lights.Green, h, true
 }
 
 // Now returns the engine's stream clock.
@@ -271,4 +356,10 @@ func (e *Engine) Now() float64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.now
+}
+
+// Config returns the configuration the engine was built with, so
+// operators can interpret Health output against the active FaultPolicy.
+func (e *Engine) Config() RealtimeConfig {
+	return e.cfg
 }

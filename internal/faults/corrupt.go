@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"taxilight/internal/trace"
+)
+
+// CorruptLine damages the serialised CSV line with probability
+// CorruptProb: a byte flip, insertion, deletion or truncation. The
+// returned bool reports whether the line was touched. Newlines are never
+// introduced, so one damaged record stays one damaged line. A damaged
+// line may still parse (a flipped digit inside a plate, say) — exactly
+// like real transport corruption, which is why reader-side accounting
+// counts skipped lines, not "corrupted" ones.
+func (p *Pipeline) CorruptLine(line string) (string, bool) {
+	if p.cfg.CorruptProb <= 0 || p.crng.Float64() >= p.cfg.CorruptProb || len(line) == 0 {
+		return line, false
+	}
+	p.stats.CorruptedLines++
+	b := []byte(line)
+	pos := p.crng.Intn(len(b))
+	switch p.crng.Intn(4) {
+	case 0: // flip
+		b[pos] = randByte(p.crng)
+	case 1: // delete
+		b = append(b[:pos], b[pos+1:]...)
+	case 2: // insert
+		b = append(b[:pos], append([]byte{randByte(p.crng)}, b[pos:]...)...)
+	default: // truncate, keeping at least one byte so the line stays a
+		// (malformed) line rather than vanishing as a blank
+		if pos == 0 {
+			pos = 1
+		}
+		b = b[:pos]
+	}
+	return string(b), true
+}
+
+// randByte returns a random non-newline byte.
+func randByte(rng *rand.Rand) byte {
+	for {
+		c := byte(rng.Intn(256))
+		if c != '\n' && c != '\r' {
+			return c
+		}
+	}
+}
+
+// WriteFile serialises records to path — gzip-compressing when the path
+// ends in ".gz", matching trace.WriteFile — applying byte corruption per
+// line. Use it in place of trace.WriteFile when CorruptProb is active;
+// record-level injectors must be applied beforehand via Apply.
+func (p *Pipeline) WriteFile(path string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	bw := bufio.NewWriter(w)
+	for i, r := range recs {
+		line, _ := p.CorruptLine(r.MarshalCSV())
+		if _, err := bw.WriteString(line); err != nil {
+			f.Close()
+			return fmt.Errorf("faults: write record %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			f.Close()
+			return fmt.Errorf("faults: write record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

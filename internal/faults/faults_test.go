@@ -1,0 +1,276 @@
+package faults
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"taxilight/internal/trace"
+)
+
+// feed builds n clean records across several devices, one report every
+// 15 s per device, all moving at 30 km/h.
+func feed(n, devices int) []trace.Record {
+	epoch := time.Date(2014, 12, 5, 0, 0, 0, 0, time.UTC)
+	out := make([]trace.Record, n)
+	for i := range out {
+		dev := i % devices
+		out[i] = trace.Record{
+			Plate:    "B" + string(rune('A'+dev)),
+			Lon:      113.9 + 0.0001*float64(i),
+			Lat:      22.5 + 0.0001*float64(dev),
+			Time:     epoch.Add(time.Duration(i/devices) * 15 * time.Second),
+			DeviceID: int64(dev),
+			SpeedKMH: 30,
+			Heading:  90,
+			GPSOK:    true,
+			SIM:      "138",
+			Color:    "red",
+		}
+	}
+	return out
+}
+
+func TestZeroConfigIsIdentity(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := feed(200, 5)
+	out := p.Apply(in)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("zero config mutated the stream")
+	}
+	if line, touched := p.CorruptLine(in[0].MarshalCSV()); touched || line != in[0].MarshalCSV() {
+		t.Fatal("zero config corrupted a line")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := DefaultHostileConfig()
+	in := feed(1000, 20)
+	p1, _ := New(cfg)
+	p2, _ := New(cfg)
+	o1, o2 := p1.Apply(in), p2.Apply(in)
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same seed produced different streams")
+	}
+	if p1.Stats() != p2.Stats() {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", p1.Stats(), p2.Stats())
+	}
+	cfg.Seed = 99
+	p3, _ := New(cfg)
+	if reflect.DeepEqual(o1, p3.Apply(in)) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDuplicator(t *testing.T) {
+	p, _ := New(Config{Seed: 1, DupProb: 0.5})
+	in := feed(1000, 10)
+	out := p.Apply(in)
+	st := p.Stats()
+	if st.Duplicated == 0 || len(out) != len(in)+st.Duplicated {
+		t.Fatalf("dup accounting: in=%d out=%d stats=%+v", len(in), len(out), st)
+	}
+}
+
+func TestBurstDropper(t *testing.T) {
+	p, _ := New(Config{Seed: 1, BurstDropProb: 0.05, BurstDropMaxLen: 8})
+	in := feed(2000, 10)
+	out := p.Apply(in)
+	st := p.Stats()
+	if st.Dropped == 0 || len(out) != len(in)-st.Dropped {
+		t.Fatalf("drop accounting: in=%d out=%d stats=%+v", len(in), len(out), st)
+	}
+}
+
+func TestClockSkewIsPerDeviceAndConstant(t *testing.T) {
+	p, _ := New(Config{Seed: 3, SkewProb: 0.5, SkewMaxSeconds: 60})
+	in := feed(400, 8)
+	out := p.Apply(in)
+	st := p.Stats()
+	if st.SkewedDevices == 0 {
+		t.Fatal("no device skewed at 50%")
+	}
+	// Offset must be identical for every report of one device.
+	offsets := map[int64]time.Duration{}
+	for i, r := range out {
+		d := r.Time.Sub(in[i].Time)
+		if prev, ok := offsets[r.DeviceID]; ok && prev != d {
+			t.Fatalf("device %d skew drifted: %v then %v", r.DeviceID, prev, d)
+		}
+		offsets[r.DeviceID] = d
+		if d > 60*time.Second || d < -60*time.Second {
+			t.Fatalf("skew %v beyond bound", d)
+		}
+	}
+}
+
+func TestFrozenGPSRepeatsCoordinates(t *testing.T) {
+	p, _ := New(Config{Seed: 1, FreezeProb: 0.2, FreezeMaxRun: 4})
+	in := feed(600, 3)
+	out := p.Apply(in)
+	st := p.Stats()
+	if st.Frozen == 0 {
+		t.Fatal("nothing froze at 20%")
+	}
+	// Frozen records repeat a coordinate previously seen on the same
+	// device while their timestamps keep advancing.
+	frozen := 0
+	last := map[int64]trace.Record{}
+	for _, r := range out {
+		if prev, ok := last[r.DeviceID]; ok &&
+			prev.Lon == r.Lon && prev.Lat == r.Lat && r.Time.After(prev.Time) {
+			frozen++
+		}
+		last[r.DeviceID] = r
+	}
+	if frozen < st.Frozen {
+		t.Fatalf("observed %d frozen repeats, stats say %d", frozen, st.Frozen)
+	}
+}
+
+func TestTeleporterJumps(t *testing.T) {
+	p, _ := New(Config{Seed: 1, TeleportProb: 0.1, TeleportMeters: 1000})
+	in := feed(500, 5)
+	out := p.Apply(in)
+	st := p.Stats()
+	if st.Teleported == 0 {
+		t.Fatal("nothing teleported at 10%")
+	}
+	jumps := 0
+	for i, r := range out {
+		dLat := (r.Lat - in[i].Lat) * metersPerDegLat
+		dLon := (r.Lon - in[i].Lon) * metersPerDegLat * math.Cos(in[i].Lat*math.Pi/180)
+		if math.Hypot(dLat, dLon) > 400 {
+			jumps++
+		}
+	}
+	if jumps != st.Teleported {
+		t.Fatalf("observed %d jumps, stats say %d", jumps, st.Teleported)
+	}
+}
+
+func TestReordererDeliversAllOutOfOrder(t *testing.T) {
+	p, _ := New(Config{Seed: 1, ReorderProb: 0.3, ReorderMaxDelay: 10})
+	in := feed(1000, 1) // single device: input is strictly time-ordered
+	out := p.Apply(in)
+	if len(out) != len(in) {
+		t.Fatalf("reorder lost records: %d -> %d", len(in), len(out))
+	}
+	inversions := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("stream still perfectly ordered at 30% reordering")
+	}
+	// Nothing lost, nothing invented: multiset of timestamps preserved.
+	seen := map[time.Time]int{}
+	for _, r := range out {
+		seen[r.Time]++
+	}
+	for _, r := range in {
+		seen[r.Time]--
+	}
+	for ts, c := range seen {
+		if c != 0 {
+			t.Fatalf("timestamp %v count off by %d", ts, c)
+		}
+	}
+}
+
+func TestCorruptLineRate(t *testing.T) {
+	p, _ := New(Config{Seed: 1, CorruptProb: 0.2})
+	line := feed(1, 1)[0].MarshalCSV()
+	touched := 0
+	for i := 0; i < 5000; i++ {
+		got, hit := p.CorruptLine(line)
+		if hit {
+			touched++
+			if strings.ContainsAny(got, "\n\r") {
+				t.Fatal("corruption introduced a newline")
+			}
+		} else if got != line {
+			t.Fatal("untouched line changed")
+		}
+	}
+	if touched < 800 || touched > 1200 {
+		t.Fatalf("corruption rate %d/5000, want ~1000", touched)
+	}
+	if p.Stats().CorruptedLines != touched {
+		t.Fatalf("stats %d != observed %d", p.Stats().CorruptedLines, touched)
+	}
+}
+
+func TestWriteFileLenientRoundtrip(t *testing.T) {
+	// A corrupted file must be readable end-to-end by the lenient
+	// scanner, with every line accounted for.
+	cfg := Config{Seed: 1, CorruptProb: 0.05}
+	p, _ := New(cfg)
+	recs := feed(2000, 10)
+	path := filepath.Join(t.TempDir(), "hostile.csv.gz")
+	if err := p.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	sc, closer, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% corruption sits exactly on the default budget; give headroom so
+	// the test exercises skipping, not budget enforcement.
+	lcfg := trace.DefaultLenientConfig()
+	lcfg.MaxBadFraction = 0.10
+	sc.SetLenient(lcfg)
+	delivered := 0
+	for sc.Scan() {
+		delivered++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("lenient read of corrupted file failed: %v", err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Lines != len(recs) {
+		t.Fatalf("read %d lines, wrote %d", st.Lines, len(recs))
+	}
+	if st.Lines-st.Skipped != delivered {
+		t.Fatalf("accounting: %d - %d != %d", st.Lines, st.Skipped, delivered)
+	}
+	// Most corrupted lines must actually have been rejected (a few may
+	// still parse — that's realistic), and nothing else may be rejected.
+	if st.Skipped > p.Stats().CorruptedLines {
+		t.Fatalf("skipped %d > corrupted %d: clean lines rejected", st.Skipped, p.Stats().CorruptedLines)
+	}
+	if st.Skipped == 0 {
+		t.Fatal("no corrupted line was rejected")
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{CorruptProb: -0.1},
+		{DupProb: 1.5},
+		{ReorderProb: 0.1, ReorderMaxDelay: 0},
+		{SkewProb: 0.1, SkewMaxSeconds: 0},
+		{FreezeProb: 0.1, FreezeMaxRun: 0},
+		{TeleportProb: 0.1, TeleportMeters: 0},
+		{BurstDropProb: 0.1, BurstDropMaxLen: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultHostileConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"taxilight/internal/trace"
+)
+
+// metersPerDegLat is the WGS-84 meridian degree length, good enough for
+// fault displacement at city scale.
+const metersPerDegLat = 111320.0
+
+// clockSkew assigns each device, on first sight, a constant clock offset
+// with probability SkewProb and shifts every report time of skewed
+// devices — the "per-device clock skew" pathology of probe fleets whose
+// onboard units free-run between NTP syncs.
+type clockSkew struct {
+	rng      *rand.Rand
+	prob     float64
+	maxSkew  float64
+	byDevice map[int64]time.Duration
+	stats    *Stats
+}
+
+func newClockSkew(cfg Config, st *Stats) *clockSkew {
+	return &clockSkew{
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x736b6577)),
+		prob:     cfg.SkewProb,
+		maxSkew:  cfg.SkewMaxSeconds,
+		byDevice: map[int64]time.Duration{},
+		stats:    st,
+	}
+}
+
+func (c *clockSkew) Name() string { return "clock-skew" }
+
+func (c *clockSkew) Apply(rec trace.Record, emit func(trace.Record)) {
+	skew, seen := c.byDevice[rec.DeviceID]
+	if !seen {
+		if c.rng.Float64() < c.prob {
+			skew = time.Duration((2*c.rng.Float64() - 1) * c.maxSkew * float64(time.Second))
+			c.stats.SkewedDevices++
+		}
+		c.byDevice[rec.DeviceID] = skew
+	}
+	if skew != 0 {
+		rec.Time = rec.Time.Add(skew)
+	}
+	emit(rec)
+}
+
+func (c *clockSkew) Flush(func(trace.Record)) {}
+
+// frozenGPS sticks a device's reported coordinates for a short run while
+// the bus-sourced speed keeps updating — the classic stale-fix failure
+// that fabricates zero-displacement "stops" in moving traffic.
+type frozenGPS struct {
+	rng    *rand.Rand
+	prob   float64
+	maxRun int
+	frozen map[int64]*freezeRun
+	stats  *Stats
+}
+
+type freezeRun struct {
+	lon, lat float64
+	left     int
+}
+
+func newFrozenGPS(cfg Config, st *Stats) *frozenGPS {
+	return &frozenGPS{
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x667a6770)),
+		prob:   cfg.FreezeProb,
+		maxRun: cfg.FreezeMaxRun,
+		frozen: map[int64]*freezeRun{},
+		stats:  st,
+	}
+}
+
+func (f *frozenGPS) Name() string { return "frozen-gps" }
+
+func (f *frozenGPS) Apply(rec trace.Record, emit func(trace.Record)) {
+	if run := f.frozen[rec.DeviceID]; run != nil {
+		rec.Lon, rec.Lat = run.lon, run.lat
+		f.stats.Frozen++
+		if run.left--; run.left <= 0 {
+			delete(f.frozen, rec.DeviceID)
+		}
+	} else if f.rng.Float64() < f.prob {
+		// This fix becomes the stuck value for the following reports.
+		f.frozen[rec.DeviceID] = &freezeRun{
+			lon: rec.Lon, lat: rec.Lat,
+			left: 1 + f.rng.Intn(f.maxRun),
+		}
+	}
+	emit(rec)
+}
+
+func (f *frozenGPS) Flush(func(trace.Record)) {}
+
+// teleporter displaces single fixes by hundreds of metres in a random
+// direction — multipath reflections in urban canyons.
+type teleporter struct {
+	rng    *rand.Rand
+	prob   float64
+	meters float64
+	stats  *Stats
+}
+
+func newTeleporter(cfg Config, st *Stats) *teleporter {
+	return &teleporter{
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x74656c65)),
+		prob:   cfg.TeleportProb,
+		meters: cfg.TeleportMeters,
+		stats:  st,
+	}
+}
+
+func (t *teleporter) Name() string { return "teleport" }
+
+func (t *teleporter) Apply(rec trace.Record, emit func(trace.Record)) {
+	if t.rng.Float64() < t.prob {
+		dist := t.meters * (0.5 + 0.5*t.rng.Float64())
+		ang := 2 * math.Pi * t.rng.Float64()
+		rec.Lat += dist * math.Sin(ang) / metersPerDegLat
+		latRad := rec.Lat * math.Pi / 180
+		if c := math.Cos(latRad); math.Abs(c) > 0.01 {
+			rec.Lon += dist * math.Cos(ang) / (metersPerDegLat * c)
+		}
+		t.stats.Teleported++
+	}
+	emit(rec)
+}
+
+func (t *teleporter) Flush(func(trace.Record)) {}
+
+// burstDropper models cellular dead zones: once a burst starts, the
+// device's next reports are lost wholesale rather than independently.
+type burstDropper struct {
+	rng     *rand.Rand
+	prob    float64
+	maxLen  int
+	midDrop map[int64]int
+	stats   *Stats
+}
+
+func newBurstDropper(cfg Config, st *Stats) *burstDropper {
+	return &burstDropper{
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x64726f70)),
+		prob:    cfg.BurstDropProb,
+		maxLen:  cfg.BurstDropMaxLen,
+		midDrop: map[int64]int{},
+		stats:   st,
+	}
+}
+
+func (b *burstDropper) Name() string { return "burst-drop" }
+
+func (b *burstDropper) Apply(rec trace.Record, emit func(trace.Record)) {
+	if left := b.midDrop[rec.DeviceID]; left > 0 {
+		b.stats.Dropped++
+		if left--; left <= 0 {
+			delete(b.midDrop, rec.DeviceID)
+		} else {
+			b.midDrop[rec.DeviceID] = left
+		}
+		return
+	}
+	if b.rng.Float64() < b.prob {
+		b.midDrop[rec.DeviceID] = b.rng.Intn(b.maxLen)
+		b.stats.Dropped++
+		return
+	}
+	emit(rec)
+}
+
+func (b *burstDropper) Flush(func(trace.Record)) {}
+
+// duplicator re-delivers records, as store-and-forward uplinks do after
+// an unacknowledged send.
+type duplicator struct {
+	rng   *rand.Rand
+	prob  float64
+	stats *Stats
+}
+
+func newDuplicator(cfg Config, st *Stats) *duplicator {
+	return &duplicator{
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x64757065)),
+		prob:  cfg.DupProb,
+		stats: st,
+	}
+}
+
+func (d *duplicator) Name() string { return "duplicate" }
+
+func (d *duplicator) Apply(rec trace.Record, emit func(trace.Record)) {
+	emit(rec)
+	if d.rng.Float64() < d.prob {
+		d.stats.Duplicated++
+		emit(rec)
+	}
+}
+
+func (d *duplicator) Flush(func(trace.Record)) {}
+
+// reorderer holds selected records back and releases them after a random
+// number of later records have passed — out-of-order delivery from
+// retried uplinks.
+type reorderer struct {
+	rng      *rand.Rand
+	prob     float64
+	maxDelay int
+	held     []heldRecord
+	stats    *Stats
+}
+
+type heldRecord struct {
+	rec   trace.Record
+	after int // remaining pass-throughs before release
+}
+
+func newReorderer(cfg Config, st *Stats) *reorderer {
+	return &reorderer{
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x72656f72)),
+		prob:     cfg.ReorderProb,
+		maxDelay: cfg.ReorderMaxDelay,
+		stats:    st,
+	}
+}
+
+func (r *reorderer) Name() string { return "reorder" }
+
+func (r *reorderer) Apply(rec trace.Record, emit func(trace.Record)) {
+	if r.rng.Float64() < r.prob {
+		r.held = append(r.held, heldRecord{rec: rec, after: 1 + r.rng.Intn(r.maxDelay)})
+		r.stats.Reordered++
+		return
+	}
+	emit(rec)
+	r.release(emit)
+}
+
+// release emits held records whose delay has elapsed.
+func (r *reorderer) release(emit func(trace.Record)) {
+	kept := r.held[:0]
+	for i := range r.held {
+		r.held[i].after--
+		if r.held[i].after <= 0 {
+			emit(r.held[i].rec)
+		} else {
+			kept = append(kept, r.held[i])
+		}
+	}
+	r.held = kept
+}
+
+func (r *reorderer) Flush(emit func(trace.Record)) {
+	for _, h := range r.held {
+		emit(h.rec)
+	}
+	r.held = nil
+}

@@ -1,0 +1,189 @@
+package faults_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"taxilight/internal/core"
+	"taxilight/internal/experiments"
+	"taxilight/internal/faults"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/trace"
+)
+
+// TestSoakHostileDay is the end-to-end robustness soak: a simulated city
+// is observed for hours, the feed is run through EVERY injector at the
+// reference hostile rates, serialised with byte corruption, read back
+// leniently, and streamed into the realtime engine at the production
+// cadence. The test asserts the engine never panics, skipped lines are
+// fully accounted for, memory stays bounded by the per-key cap, only
+// affected approaches are quarantined, and the median cycle error stays
+// within 2x the clean-feed baseline.
+//
+// The default horizon is two simulated hours so the -race run stays
+// quick; set TAXILIGHT_SOAK_DAY=1 to run the full 24-hour day the
+// acceptance criterion describes.
+func TestSoakHostileDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	horizon := 2 * 3600.0
+	if os.Getenv("TAXILIGHT_SOAK_DAY") != "" {
+		horizon = 24 * 3600.0
+	}
+
+	wcfg := experiments.DefaultWorldConfig()
+	wcfg.Rows, wcfg.Cols = 3, 3
+	wcfg.Taxis = 150
+	wcfg.Horizon = horizon
+	world, err := experiments.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hostile record stream, then serialisation with byte corruption —
+	// the full wire path, exactly what cmd/tracegen -hostile writes.
+	p, err := faults.New(faults.DefaultHostileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := p.Apply(world.Records)
+	path := filepath.Join(t.TempDir(), "hostile.csv.gz")
+	if err := p.WriteFile(path, dirty); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Emitted != len(dirty) {
+		t.Fatalf("injector accounting: emitted %d, got %d records", st.Emitted, len(dirty))
+	}
+
+	// Lenient read-back: every written line must come back either as a
+	// delivered record or as a counted skip — nothing vanishes silently.
+	sc, closer, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := trace.DefaultLenientConfig()
+	lcfg.MaxBadFraction = 0.10 // CorruptProb 0.01 keeps well under this
+	sc.SetLenient(lcfg)
+	var delivered []trace.Record
+	for sc.Scan() {
+		delivered = append(delivered, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("lenient scan failed: %v", err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	stats := sc.Stats()
+	if stats.Lines != len(dirty) {
+		t.Fatalf("line accounting: wrote %d records, scanner saw %d lines", len(dirty), stats.Lines)
+	}
+	if len(delivered)+stats.Skipped != stats.Lines {
+		t.Fatalf("skip accounting: %d delivered + %d skipped != %d lines",
+			len(delivered), stats.Skipped, stats.Lines)
+	}
+	classTotal := 0
+	for _, n := range stats.ByClass {
+		classTotal += n
+	}
+	if classTotal != stats.Skipped {
+		t.Fatalf("per-class accounting: classes sum to %d, skipped %d", classTotal, stats.Skipped)
+	}
+	t.Logf("feed: %d clean -> %d hostile records, %d corrupted lines, %d skipped on read (%v)",
+		st.Records, st.Emitted, st.CorruptedLines, stats.Skipped, stats.ByClass)
+
+	// Stream both feeds through identical engines at the 5-minute
+	// production cadence; the clean run is the accuracy baseline.
+	hostileEng := soakRun(t, world, delivered, horizon)
+	cleanEng := soakRun(t, world, world.Records, horizon)
+
+	rep := hostileEng.Health()
+	quarantined := rep.QuarantinedKeys()
+	if len(quarantined) > len(rep.Approaches)/2 {
+		t.Fatalf("blast radius: %d of %d approaches quarantined", len(quarantined), len(rep.Approaches))
+	}
+	for _, k := range quarantined {
+		h := rep.Approaches[k]
+		if h.ConsecutiveFailures < hostileEng.Config().Faults.QuarantineAfter {
+			t.Fatalf("approach %v quarantined after only %d failures", k, h.ConsecutiveFailures)
+		}
+	}
+	t.Logf("health: %d approaches, %d buffered, %d dropped old, %d dropped overflow, %d quarantined",
+		len(rep.Approaches), rep.BufferedRecords, rep.DroppedOldRecords,
+		rep.DroppedOverflowRecords, len(quarantined))
+
+	// Accuracy: hostile cycle error within 2x the clean baseline (with a
+	// small absolute floor so a near-perfect baseline can't flake us).
+	cleanErr := medianCycleError(world, cleanEng)
+	hostileErr := medianCycleError(world, hostileEng)
+	t.Logf("median cycle error: clean %.1f s, hostile %.1f s", cleanErr, hostileErr)
+	if limit := math.Max(2*cleanErr, 8); hostileErr > limit {
+		t.Fatalf("hostile median cycle error %.1f s exceeds limit %.1f s (clean %.1f s)",
+			hostileErr, limit, cleanErr)
+	}
+}
+
+// soakRun matches records, streams them into a fresh engine in 5-minute
+// batches up to the horizon, and asserts bounded memory along the way.
+func soakRun(t *testing.T, world *experiments.World, recs []trace.Record, horizon float64) *core.Engine {
+	t.Helper()
+	var stream []mapmatch.Matched
+	for _, rec := range recs {
+		if m, ok := world.Matcher.Match(rec); ok {
+			stream = append(stream, m)
+		}
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].T < stream[j].T })
+
+	cfg := core.DefaultRealtimeConfig()
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBuffered := 0
+	idx := 0
+	for at := cfg.Interval; at <= horizon; at += cfg.Interval {
+		var chunk []mapmatch.Matched
+		for idx < len(stream) && stream[idx].T <= at {
+			chunk = append(chunk, stream[idx])
+			idx++
+		}
+		eng.Ingest(chunk)
+		if _, err := eng.Advance(at); err != nil {
+			t.Fatalf("advance at t=%.0f: %v", at, err)
+		}
+		rep := eng.Health()
+		if rep.BufferedRecords > maxBuffered {
+			maxBuffered = rep.BufferedRecords
+		}
+		bound := len(rep.Approaches) * cfg.Faults.MaxBufferPerKey
+		if bound > 0 && rep.BufferedRecords > bound {
+			t.Fatalf("t=%.0f: %d records buffered, cap allows %d", at, rep.BufferedRecords, bound)
+		}
+	}
+	t.Logf("soak run: %d matched records streamed, peak buffer %d", len(stream), maxBuffered)
+	return eng
+}
+
+// medianCycleError scores an engine's final snapshot against the
+// simulated ground-truth schedules.
+func medianCycleError(world *experiments.World, eng *core.Engine) float64 {
+	var errs []float64
+	for key, est := range eng.Snapshot() {
+		if est.Err != nil {
+			continue
+		}
+		truth := world.Net.Node(key.Light).Light.ScheduleFor(key.Approach, est.WindowEnd)
+		errs = append(errs, math.Abs(est.Cycle-truth.Cycle))
+	}
+	if len(errs) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(errs)
+	return errs[len(errs)/2]
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildFeed interleaves good records with the given bad lines at fixed
+// positions and returns the CSV text plus the number of good records.
+func buildFeed(good int, bad []string) string {
+	recs := streamRecords(good)
+	var sb strings.Builder
+	bi := 0
+	for i, r := range recs {
+		sb.WriteString(r.MarshalCSV())
+		sb.WriteByte('\n')
+		if bi < len(bad) && i%7 == 3 {
+			sb.WriteString(bad[bi])
+			sb.WriteByte('\n')
+			bi++
+		}
+	}
+	for ; bi < len(bad); bi++ {
+		sb.WriteString(bad[bi])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestLenientScannerSkipsMalformedMidFile(t *testing.T) {
+	bad := []string{
+		"garbage",                              // fields
+		strings.Repeat("x,", 11) + "x",         // coord (12 fields, bad lon)
+		"B1,113900000,22500000,not a time,900000,10.0,90.0,1,0,sim,0,red", // time
+	}
+	sc := NewLenientScanner(strings.NewReader(buildFeed(60, bad)), DefaultLenientConfig())
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("lenient scan failed: %v", err)
+	}
+	if n != 60 {
+		t.Fatalf("delivered %d records, want 60", n)
+	}
+	st := sc.Stats()
+	if st.Lines != 63 || st.Skipped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Every skipped line is accounted to exactly one class.
+	total := 0
+	for _, c := range st.ByClass {
+		total += c
+	}
+	if total != st.Skipped {
+		t.Fatalf("class counts %v don't sum to skipped %d", st.ByClass, st.Skipped)
+	}
+	if st.ByClass[ClassFields] != 1 || st.ByClass[ClassCoord] != 1 || st.ByClass[ClassTime] != 1 {
+		t.Fatalf("class breakdown = %v", st.ByClass)
+	}
+	if st.Lines-st.Skipped != n {
+		t.Fatalf("accounting: %d lines - %d skipped != %d delivered", st.Lines, st.Skipped, n)
+	}
+}
+
+func TestLenientScannerBudgetExceeded(t *testing.T) {
+	// 40 good lines and 160 garbage lines: 80 % malformed blows any sane
+	// budget once MinLines is reached.
+	var bad []string
+	for i := 0; i < 160; i++ {
+		bad = append(bad, "garbage")
+	}
+	cfg := DefaultLenientConfig()
+	cfg.MinLines = 50
+	sc := NewLenientScanner(strings.NewReader(buildFeed(40, bad)), cfg)
+	for sc.Scan() {
+	}
+	if err := sc.Err(); !errors.Is(err, ErrBadLineBudget) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	// Scan after the fatal error stays false.
+	if sc.Scan() {
+		t.Fatal("Scan after budget error returned true")
+	}
+}
+
+func TestLenientScannerValidateClass(t *testing.T) {
+	// A parseable line whose latitude was corrupted out of range: only
+	// the Validate pass can catch it.
+	r := sampleRecord()
+	line := r.MarshalCSV()
+	f := strings.Split(line, ",")
+	f[2] = "95000000" // 95 degrees north
+	input := line + "\n" + strings.Join(f, ",") + "\n"
+	sc := NewLenientScanner(strings.NewReader(input), DefaultLenientConfig())
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records, want 1", n)
+	}
+	if got := sc.Stats().ByClass[ClassInvalid]; got != 1 {
+		t.Fatalf("invalid class count = %d, stats %+v", got, sc.Stats())
+	}
+}
+
+func TestStrictScannerStillStops(t *testing.T) {
+	input := sampleRecord().MarshalCSV() + "\ngarbage\n" + sampleRecord().MarshalCSV() + "\n"
+	sc := NewScanner(strings.NewReader(input))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 || sc.Err() == nil {
+		t.Fatalf("strict mode delivered %d, err %v", n, sc.Err())
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	var r Record
+	if err := r.UnmarshalCSV("a,b"); ClassOf(err) != ClassFields {
+		t.Fatalf("ClassOf(%v) = %s", err, ClassOf(err))
+	}
+	if ClassOf(errors.New("boom")) != ClassOther {
+		t.Fatal("unclassified error not ClassOther")
+	}
+}

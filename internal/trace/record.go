@@ -8,6 +8,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -47,11 +48,12 @@ func (r Record) Validate() error {
 	switch {
 	case r.Plate == "":
 		return fmt.Errorf("trace: empty plate")
-	case r.Lat < -90 || r.Lat > 90 || r.Lon < -180 || r.Lon > 180:
+	case !(r.Lat >= -90 && r.Lat <= 90 && r.Lon >= -180 && r.Lon <= 180):
+		// Negated form so NaN coordinates also fail the check.
 		return fmt.Errorf("trace: coordinates (%v, %v) out of range", r.Lat, r.Lon)
-	case r.SpeedKMH < 0:
-		return fmt.Errorf("trace: negative speed %v", r.SpeedKMH)
-	case r.Heading < 0 || r.Heading >= 360:
+	case !(r.SpeedKMH >= 0) || math.IsInf(r.SpeedKMH, 1):
+		return fmt.Errorf("trace: bad speed %v", r.SpeedKMH)
+	case !(r.Heading >= 0 && r.Heading < 360):
 		return fmt.Errorf("trace: heading %v outside [0, 360)", r.Heading)
 	case r.Time.IsZero():
 		return fmt.Errorf("trace: zero report time")
@@ -84,35 +86,76 @@ func (r Record) MarshalCSV() string {
 	}, ",")
 }
 
-// UnmarshalCSV parses one Table-I CSV line into the record.
+// Parse-error classes. Every malformed line maps to exactly one class so
+// lenient consumers (Scanner in lenient mode) can account for skipped
+// input by failure mode rather than a single opaque counter.
+const (
+	ClassFields  = "fields"  // wrong column count
+	ClassCoord   = "coord"   // unparseable longitude/latitude
+	ClassTime    = "time"    // unparseable report time
+	ClassDevice  = "device"  // unparseable device ID
+	ClassNumber  = "number"  // unparseable speed/heading
+	ClassFlag    = "flag"    // boolean flag not 0/1
+	ClassInvalid = "invalid" // parsed but structurally invalid (Validate)
+	ClassOther   = "other"   // not a classified parse error
+)
+
+// ParseError is a malformed-line error carrying a stable class tag.
+type ParseError struct {
+	Class string
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ClassOf returns the parse-error class of err, or ClassOther when err
+// did not originate from record parsing.
+func ClassOf(err error) string {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe.Class
+	}
+	return ClassOther
+}
+
+func parseErr(class, format string, args ...any) error {
+	return &ParseError{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// UnmarshalCSV parses one Table-I CSV line into the record. Failures are
+// *ParseError values classified by failure mode.
 func (r *Record) UnmarshalCSV(line string) error {
 	f := strings.Split(line, ",")
 	if len(f) != 12 {
-		return fmt.Errorf("trace: %d fields, want 12", len(f))
+		return parseErr(ClassFields, "trace: %d fields, want 12", len(f))
 	}
 	lonI, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return fmt.Errorf("trace: longitude: %w", err)
+		return parseErr(ClassCoord, "trace: longitude: %w", err)
 	}
 	latI, err := strconv.ParseInt(f[2], 10, 64)
 	if err != nil {
-		return fmt.Errorf("trace: latitude: %w", err)
+		return parseErr(ClassCoord, "trace: latitude: %w", err)
 	}
 	ts, err := time.Parse(TimeLayout, f[3])
 	if err != nil {
-		return fmt.Errorf("trace: time: %w", err)
+		return parseErr(ClassTime, "trace: time: %w", err)
 	}
 	dev, err := strconv.ParseInt(f[4], 10, 64)
 	if err != nil {
-		return fmt.Errorf("trace: device: %w", err)
+		return parseErr(ClassDevice, "trace: device: %w", err)
 	}
 	speed, err := strconv.ParseFloat(f[5], 64)
 	if err != nil {
-		return fmt.Errorf("trace: speed: %w", err)
+		return parseErr(ClassNumber, "trace: speed: %w", err)
 	}
 	heading, err := strconv.ParseFloat(f[6], 64)
 	if err != nil {
-		return fmt.Errorf("trace: heading: %w", err)
+		return parseErr(ClassNumber, "trace: heading: %w", err)
 	}
 	parseBit := func(s, name string) (bool, error) {
 		switch s {
@@ -121,7 +164,7 @@ func (r *Record) UnmarshalCSV(line string) error {
 		case "1":
 			return true, nil
 		}
-		return false, fmt.Errorf("trace: %s flag %q", name, s)
+		return false, parseErr(ClassFlag, "trace: %s flag %q", name, s)
 	}
 	gps, err := parseBit(f[7], "gps")
 	if err != nil {

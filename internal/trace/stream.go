@@ -3,11 +3,56 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 )
+
+// LenientConfig tunes the scanner's tolerant mode: malformed lines are
+// skipped and counted per error class instead of aborting the stream,
+// which is how a production ingester must treat a crowdsourced feed —
+// field probe data is dominated by malformed and duplicated records, and
+// one bad byte must not take down the pipeline. The budget still bounds
+// the damage: a feed that is mostly garbage is a systemic failure
+// (wrong file, wrong format, upstream outage) that must surface as an
+// error, not be silently eaten.
+type LenientConfig struct {
+	// MaxBadFraction is the malformed-line budget: scanning fails with
+	// ErrBadLineBudget once skipped/total exceeds it. 0.05 tolerates a
+	// dirty feed while still catching format mismatches.
+	MaxBadFraction float64
+	// MinLines delays budget enforcement until this many non-blank lines
+	// have been seen, so one bad line at the top of a file cannot trip a
+	// fractional budget.
+	MinLines int
+	// Validate additionally drops lines that parse but fail
+	// Record.Validate (class "invalid") — e.g. a digit flip that moved a
+	// coordinate out of range.
+	Validate bool
+}
+
+// DefaultLenientConfig is the production ingestion posture: skip and
+// count, fail beyond 5 % malformed after the first 100 lines.
+func DefaultLenientConfig() LenientConfig {
+	return LenientConfig{MaxBadFraction: 0.05, MinLines: 100, Validate: true}
+}
+
+// ErrBadLineBudget reports that the malformed-line fraction exceeded the
+// lenient budget.
+var ErrBadLineBudget = errors.New("trace: malformed-line budget exceeded")
+
+// SkipStats accounts for every line a lenient scanner consumed.
+type SkipStats struct {
+	// Lines counts non-blank input lines, good and bad.
+	Lines int
+	// Skipped counts malformed lines dropped; ByClass breaks them down
+	// by parse-error class (ClassFields, ClassTime, ...). Lines-Skipped
+	// is exactly the number of records delivered.
+	Skipped int
+	ByClass map[string]int
+}
 
 // Scanner streams Table-I records from a reader one at a time without
 // loading the whole trace into memory — a day of the real feed is ~10 GB,
@@ -24,17 +69,52 @@ type Scanner struct {
 	rec    Record
 	err    error
 	lineNo int
+
+	lenient bool
+	lcfg    LenientConfig
+	stats   SkipStats
 }
 
-// NewScanner returns a streaming reader over r.
+// NewScanner returns a strict streaming reader over r: the first
+// malformed line stops the scan with an error.
 func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	return &Scanner{sc: sc}
 }
 
-// Scan advances to the next record. It returns false at EOF or on the
-// first malformed line; Err distinguishes the two.
+// NewLenientScanner returns a corruption-tolerant streaming reader: see
+// LenientConfig.
+func NewLenientScanner(r io.Reader, cfg LenientConfig) *Scanner {
+	s := NewScanner(r)
+	s.SetLenient(cfg)
+	return s
+}
+
+// SetLenient switches an existing scanner (e.g. one from OpenFile) into
+// lenient mode. It must be called before the first Scan.
+func (s *Scanner) SetLenient(cfg LenientConfig) {
+	s.lenient = true
+	s.lcfg = cfg
+	if s.stats.ByClass == nil {
+		s.stats.ByClass = map[string]int{}
+	}
+}
+
+// Stats returns the line accounting so far. The ByClass map is a copy.
+func (s *Scanner) Stats() SkipStats {
+	out := s.stats
+	out.ByClass = make(map[string]int, len(s.stats.ByClass))
+	for k, v := range s.stats.ByClass {
+		out.ByClass[k] = v
+	}
+	return out
+}
+
+// Scan advances to the next record. It returns false at EOF or on a
+// fatal error; Err distinguishes the two. In strict mode the first
+// malformed line is fatal; in lenient mode malformed lines are skipped
+// and counted, and only blowing the malformed-fraction budget is fatal.
 func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
@@ -45,9 +125,28 @@ func (s *Scanner) Scan() bool {
 		if line == "" {
 			continue
 		}
-		if err := s.rec.UnmarshalCSV(line); err != nil {
-			s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
-			return false
+		s.stats.Lines++
+		err := s.rec.UnmarshalCSV(line)
+		if err == nil && s.lenient && s.lcfg.Validate {
+			if verr := s.rec.Validate(); verr != nil {
+				err = &ParseError{Class: ClassInvalid, Err: verr}
+			}
+		}
+		if err != nil {
+			if !s.lenient {
+				s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
+				return false
+			}
+			s.stats.Skipped++
+			s.stats.ByClass[ClassOf(err)]++
+			if s.stats.Lines >= s.lcfg.MinLines &&
+				float64(s.stats.Skipped) > s.lcfg.MaxBadFraction*float64(s.stats.Lines) {
+				s.err = fmt.Errorf("%w: %d of %d lines malformed (budget %.1f%%), last at line %d: %v",
+					ErrBadLineBudget, s.stats.Skipped, s.stats.Lines,
+					100*s.lcfg.MaxBadFraction, s.lineNo, err)
+				return false
+			}
+			continue
 		}
 		return true
 	}
@@ -64,7 +163,10 @@ func (s *Scanner) Record() Record { return s.rec }
 func (s *Scanner) Err() error { return s.err }
 
 // OpenFile opens a trace file for streaming, transparently decompressing
-// ".gz" files. The returned closer must be closed by the caller.
+// ".gz" files. The returned closer must be closed by the caller; for
+// ".gz" files it closes both the gzip layer and the underlying file, and
+// surfaces the stream's checksum verification error when the compressed
+// data was fully consumed.
 func OpenFile(path string) (*Scanner, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -78,7 +180,34 @@ func OpenFile(path string) (*Scanner, io.Closer, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("trace: gzip: %w", err)
 	}
-	return NewScanner(zr), multiCloser{zr, f}, nil
+	return NewScanner(zr), &gzipCloser{zr: zr, f: f}, nil
+}
+
+// gzipCloser closes the gzip layer and then the underlying file,
+// returning the first error. gzip only verifies its CRC/length trailer on
+// the read that reaches EOF, so a caller that stopped exactly at the last
+// record could otherwise drop a truncation or corruption silently; Close
+// probes one byte to force that verification when the stream was fully
+// consumed, without draining a stream that was abandoned mid-file.
+type gzipCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+// Close implements io.Closer.
+func (g *gzipCloser) Close() error {
+	var first error
+	var b [1]byte
+	if n, err := g.zr.Read(b[:]); n == 0 && err != nil && err != io.EOF {
+		first = fmt.Errorf("trace: gzip: %w", err)
+	}
+	if err := g.zr.Close(); err != nil && first == nil {
+		first = fmt.Errorf("trace: gzip: %w", err)
+	}
+	if err := g.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // WriteFile writes records to path, gzip-compressing when the path ends
@@ -105,18 +234,4 @@ func WriteFile(path string, recs []Record) error {
 		}
 	}
 	return f.Close()
-}
-
-// multiCloser closes a stack of nested readers in order.
-type multiCloser []io.Closer
-
-// Close implements io.Closer, returning the first error.
-func (m multiCloser) Close() error {
-	var first error
-	for _, c := range m {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
 }

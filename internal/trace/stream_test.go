@@ -126,6 +126,79 @@ func TestWriteOpenFileGzip(t *testing.T) {
 	}
 }
 
+func TestGzipCloserSurfacesChecksumError(t *testing.T) {
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "trace.csv.gz")
+	if err := WriteFile(gz, streamRecords(200)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the CRC32 trailer (last 8 bytes are CRC + ISIZE): the
+	// payload still inflates cleanly, so only checksum verification can
+	// catch the damage.
+	data, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	if err := os.WriteFile(gz, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, closer, err := OpenFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+	}
+	// Depending on read-ahead the checksum error surfaces through the
+	// scanner or through Close; it must surface through at least one.
+	cerr := closer.Close()
+	if sc.Err() == nil && cerr == nil {
+		t.Fatal("corrupted gzip trailer went unnoticed by both Err and Close")
+	}
+}
+
+func TestGzipCloserCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "trace.csv.gz")
+	if err := WriteFile(gz, streamRecords(10)); err != nil {
+		t.Fatal(err)
+	}
+	sc, closer, err := OpenFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if sc.Err() != nil || n != 10 {
+		t.Fatalf("n = %d, err = %v", n, sc.Err())
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+}
+
+func TestGzipCloserAbandonedEarly(t *testing.T) {
+	// Closing without reading to EOF must not drain or error: abandoning
+	// a 10 GB stream mid-file is a normal operation.
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "trace.csv.gz")
+	if err := WriteFile(gz, streamRecords(5000)); err != nil {
+		t.Fatal(err)
+	}
+	sc, closer, err := OpenFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("first record not scanned")
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("early close: %v", err)
+	}
+}
+
 func TestOpenFileErrors(t *testing.T) {
 	if _, _, err := OpenFile("/does/not/exist.csv"); err == nil {
 		t.Fatal("missing file opened")
