@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -17,7 +19,10 @@ import (
 	"taxilight/internal/dsp"
 	"taxilight/internal/experiments"
 	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
 	"taxilight/internal/navigation"
+	"taxilight/internal/roadnet"
+	"taxilight/internal/server"
 	"taxilight/internal/trace"
 )
 
@@ -403,6 +408,83 @@ func BenchmarkAblationCycleMethod(b *testing.B) {
 			last, _ = core.IdentifyCycleLombScargle(samples, 0, 3600, cfg)
 		}
 		b.ReportMetric(math.Abs(last-98), "s-err")
+	})
+}
+
+// --- Serving: the cached /v1/snapshot endpoint ---
+
+// BenchmarkServerSnapshot measures the three cost tiers of the snapshot
+// endpoint: a revalidated 304 (version compare, no body), a cached 200
+// (version compare + cached-bytes write), and a forced rebuild (an
+// engine published, so the full map copy + render runs). The allocation
+// gap between Cached and Rebuild is the point: requests between engine
+// ticks never rebuild the snapshot.
+func BenchmarkServerSnapshot(b *testing.B) {
+	srv, err := server.New(nil, server.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := srv.Engines()
+	const approaches = 256
+	batches := make([][]core.Result, len(engines))
+	for i := 0; i < approaches; i++ {
+		res := core.Result{
+			Key:         mapmatch.Key{Light: roadnet.NodeID(i), Approach: lights.NorthSouth},
+			Cycle:       90 + float64(i%40),
+			Red:         35,
+			Green:       55 + float64(i%40),
+			WindowStart: 0, WindowEnd: 1800,
+			Records: 100, Quality: 0.6,
+		}
+		batches[i%len(engines)] = append(batches[i%len(engines)], res)
+	}
+	for i, eng := range engines {
+		eng.Prime(batches[i]...)
+	}
+	h := srv.Handler()
+	get := func(etag string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/v1/snapshot", nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	warm := get("")
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup status %d", warm.Code)
+	}
+	etag := warm.Header().Get("ETag")
+
+	b.Run("Revalidated304", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rec := get(etag); rec.Code != http.StatusNotModified {
+				b.Fatalf("status %d, want 304", rec.Code)
+			}
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rec := get(""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.Run("Rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		res := batches[0][0]
+		for i := 0; i < b.N; i++ {
+			// Moving the estimate bumps the engine version, forcing the
+			// full copy + render on the next request.
+			res.WindowEnd = 1800 + float64(i+1)
+			engines[0].Prime(res)
+			if rec := get(""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
 	})
 }
 

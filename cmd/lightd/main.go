@@ -1,0 +1,147 @@
+// Command lightd is the realtime serving daemon: it ingests a live
+// Table-I taxi feed (stdin, file replay or TCP push), shards it across N
+// streaming identification engines, and answers driver-facing queries
+// over HTTP — the end product the paper sketches in §V.
+//
+// Endpoints:
+//
+//	GET /v1/state/{light}/{approach}   current phase + countdown ("red, 12 s to green")
+//	GET /v1/snapshot                   every approach, cached, ETag-revalidated
+//	GET /healthz                       200 while any estimate is fresh, else 503
+//	GET /metrics                       Prometheus text format
+//
+// The road network comes from a tracegen -network file, an OSM extract,
+// or the synthetic grid parameters the trace was generated with.
+//
+// Usage:
+//
+//	tracegen -stream -speedup 60 | lightd -in - -rows 4 -cols 4 -seed 1
+//	lightd -in trace.csv.gz -network net.txt -listen :8080
+//	lightd -in tcp://:7001              # accept push feeds
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taxilight/internal/experiments"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/roadnet"
+	"taxilight/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	in := flag.String("in", "-", `trace source: "-" (stdin), "tcp://addr" (listen for push feeds), or a file path (.gz-aware)`)
+	rows := flag.Int("rows", 4, "grid rows of the generating network")
+	cols := flag.Int("cols", 4, "grid columns of the generating network")
+	seed := flag.Int64("seed", 1, "seed of the generating network")
+	netFile := flag.String("network", "", "network file written by tracegen -network (preferred over -rows/-cols/-seed)")
+	osmFile := flag.String("osm", "", "OpenStreetMap XML extract to use as the road network")
+	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	window := flag.Float64("window", 1800, "trailing estimation window, seconds")
+	interval := flag.Float64("interval", 300, "re-estimation interval, seconds")
+	maxBadFrac := flag.Float64("max-bad-frac", 0.05, "abort a source once this fraction of its lines is malformed")
+	tick := flag.Duration("tick", time.Second, "idle-shard advance cadence")
+	readTimeout := flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
+	grace := flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown budget for in-flight requests")
+	flag.Parse()
+
+	net, err := loadNetwork(*netFile, *osmFile, *rows, *cols, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	matcher, err := mapmatch.New(net, experiments.Epoch, mapmatch.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := server.DefaultConfig()
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
+	cfg.Realtime.Window = *window
+	cfg.Realtime.Interval = *interval
+	cfg.Lenient.MaxBadFraction = *maxBadFrac
+	cfg.TickEvery = *tick
+	cfg.ReadTimeout = *readTimeout
+	cfg.WriteTimeout = *writeTimeout
+	cfg.ShutdownGrace = *grace
+	srv, err := server.New(matcher, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "lightd: %d shards, network %d nodes / %d segments, serving on %s, ingesting %s\n",
+		cfg.Shards, net.NumNodes(), net.NumSegments(), *listen, *in)
+
+	srcDone := make(chan error, 1)
+	go func() { srcDone <- srv.RunSource(ctx, *in) }()
+	go func() {
+		// A finished replay (nil) leaves the daemon serving its last
+		// estimates; a failed source (budget blown, unreadable file) is
+		// surfaced but non-fatal for the same reason — /healthz reports
+		// the degradation.
+		if err := <-srcDone; err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "lightd: source:", err)
+		}
+	}()
+
+	if err := srv.ListenAndServe(ctx, *listen); err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+
+	// Graceful shutdown: the HTTP side is already drained; now drain the
+	// ingest side and flush the final accounting to the operator.
+	stop()
+	srv.StopIngest()
+	fmt.Fprintln(os.Stderr, "lightd: drained; final counters:")
+	fmt.Fprintln(os.Stderr, srv.Summary())
+}
+
+// loadNetwork mirrors lightid's network resolution: explicit network
+// file, then OSM extract, then the synthetic grid parameters.
+func loadNetwork(netFile, osmFile string, rows, cols int, seed int64) (*roadnet.Network, error) {
+	if netFile != "" {
+		nf, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		net, err := roadnet.ReadNetwork(nf)
+		if cerr := nf.Close(); err == nil {
+			err = cerr
+		}
+		return net, err
+	}
+	if osmFile != "" {
+		mf, err := os.Open(osmFile)
+		if err != nil {
+			return nil, err
+		}
+		net, err := roadnet.ImportOSM(mf, roadnet.DefaultOSMConfig())
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		return net, err
+	}
+	gcfg := roadnet.DefaultGridConfig()
+	gcfg.Rows, gcfg.Cols = rows, cols
+	gcfg.Seed = seed
+	gcfg.CycleMin, gcfg.CycleMax = 80, 140
+	return roadnet.GenerateGrid(gcfg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightd:", err)
+	os.Exit(1)
+}

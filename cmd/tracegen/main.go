@@ -8,17 +8,27 @@
 // skew, frozen-GPS runs, teleporting fixes and bursty drop. -hostile
 // enables all of them at the reference rates.
 //
+// With -stream the records go to stdout paced by their timestamps
+// (compressed by -speedup), so the serving daemon can be demoed against
+// a live feed end to end:
+//
+//	tracegen -stream -speedup 60 | lightd -in -
+//
 // Usage:
 //
 //	tracegen -taxis 300 -hours 1 -rows 4 -cols 4 -o trace.csv -truth truth.csv
 //	tracegen -hostile -o hostile.csv.gz            # reference hostile feed
 //	tracegen -fault-corrupt 0.02 -fault-dup 0.1 -o dirty.csv
+//	tracegen -stream -speedup 120 -hostile | lightd -in -
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"taxilight/internal/experiments"
 	"taxilight/internal/faults"
@@ -52,7 +62,12 @@ func main() {
 	teleportM := flag.Float64("fault-teleport-m", 800, "max teleport displacement, metres")
 	burstDrop := flag.Float64("fault-burstdrop", 0, "per-record drop-burst-start probability")
 	burstLen := flag.Int("fault-burst-len", 10, "max reports lost in one drop burst")
+	stream := flag.Bool("stream", false, "emit records to stdout paced by record timestamp instead of writing -o")
+	speedup := flag.Float64("speedup", 60, "with -stream, time compression factor (1 = real time)")
 	flag.Parse()
+	if *stream && *speedup <= 0 {
+		fatal(fmt.Errorf("-speedup must be positive, got %v", *speedup))
+	}
 
 	cfg := experiments.DefaultWorldConfig()
 	cfg.Taxis = *taxis
@@ -87,6 +102,64 @@ func main() {
 	active := fcfg.CorruptProb > 0 || fcfg.DupProb > 0 || fcfg.ReorderProb > 0 ||
 		fcfg.SkewProb > 0 || fcfg.FreezeProb > 0 || fcfg.TeleportProb > 0 ||
 		fcfg.BurstDropProb > 0
+	// In stream mode stdout carries the feed; all status goes to stderr.
+	status := os.Stdout
+	if *stream {
+		status = os.Stderr
+	}
+
+	if *netOut != "" {
+		nf, err := os.Create(*netOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := roadnet.WriteNetwork(nf, world.Net); err != nil {
+			fatal(err)
+		}
+		if err := nf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(status, "wrote network to %s\n", *netOut)
+	}
+
+	if *truthOut != "" {
+		tf, err := os.Create(*truthOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(tf, "light,approach,cycle,red,offset")
+		mid := cfg.Horizon / 2
+		for _, nd := range world.Net.SignalisedNodes() {
+			for _, app := range []lights.Approach{lights.NorthSouth, lights.EastWest} {
+				s := nd.Light.ScheduleFor(app, mid)
+				fmt.Fprintf(tf, "%d,%s,%.0f,%.0f,%.0f\n", nd.ID, app, s.Cycle, s.Red, s.Offset)
+			}
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(status, "wrote ground truth to %s\n", *truthOut)
+	}
+
+	if *stream {
+		// Record-level faults apply before pacing; line-level corruption
+		// applies at emission, like the file writer.
+		recs := world.Records
+		var p *faults.Pipeline
+		if active {
+			p, err = faults.New(fcfg)
+			if err != nil {
+				fatal(err)
+			}
+			recs = p.Apply(recs)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: streaming %d records at %gx\n", len(recs), *speedup)
+		if err := streamRecords(os.Stdout, recs, p, *speedup); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "tracegen: stream complete")
+		return
+	}
 	if !active {
 		// Clean feed: the plain writer (gzip-aware via the path suffix).
 		if err := trace.WriteFile(*out, world.Records); err != nil {
@@ -108,38 +181,40 @@ func main() {
 			st.Duplicated, st.Reordered, st.Dropped, st.Frozen, st.Teleported, st.SkewedDevices, st.CorruptedLines)
 	}
 
-	if *netOut != "" {
-		nf, err := os.Create(*netOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := roadnet.WriteNetwork(nf, world.Net); err != nil {
-			fatal(err)
-		}
-		if err := nf.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote network to %s\n", *netOut)
-	}
+}
 
-	if *truthOut != "" {
-		tf, err := os.Create(*truthOut)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(tf, "light,approach,cycle,red,offset")
-		mid := cfg.Horizon / 2
-		for _, nd := range world.Net.SignalisedNodes() {
-			for _, app := range []lights.Approach{lights.NorthSouth, lights.EastWest} {
-				s := nd.Light.ScheduleFor(app, mid)
-				fmt.Fprintf(tf, "%d,%s,%.0f,%.0f,%.0f\n", nd.ID, app, s.Cycle, s.Red, s.Offset)
+// streamRecords emits records to w paced by their timestamps: the gap
+// between consecutive report times is slept through, divided by speedup,
+// so `tracegen -stream | lightd -in -` behaves like a live fleet uplink.
+// Out-of-order records (fault injection) are emitted immediately — the
+// pacing clock only moves forward, like wall time. When p is non-nil its
+// line corrupter is applied at emission.
+func streamRecords(w io.Writer, recs []trace.Record, p *faults.Pipeline, speedup float64) error {
+	bw := bufio.NewWriter(w)
+	var clock time.Time
+	for _, r := range recs {
+		if !clock.IsZero() && r.Time.After(clock) {
+			// Flush what the consumer is entitled to before sleeping.
+			if err := bw.Flush(); err != nil {
+				return err
 			}
+			time.Sleep(time.Duration(float64(r.Time.Sub(clock)) / speedup))
 		}
-		if err := tf.Close(); err != nil {
-			fatal(err)
+		if r.Time.After(clock) {
+			clock = r.Time
 		}
-		fmt.Printf("wrote ground truth to %s\n", *truthOut)
+		line := r.MarshalCSV()
+		if p != nil {
+			line, _ = p.CorruptLine(line)
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
 	}
+	return bw.Flush()
 }
 
 func fatal(err error) {

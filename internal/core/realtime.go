@@ -103,6 +103,7 @@ type Engine struct {
 	buf       mapmatch.Partition
 	now       float64
 	nextRun   float64
+	version   uint64
 	estimates map[mapmatch.Key]Result
 	monitors  map[mapmatch.Key]*Monitor
 	histories map[mapmatch.Key]*History
@@ -192,6 +193,7 @@ func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
 		}
 		out = append(out, ch...)
 		e.nextRun += e.cfg.Interval
+		e.version++
 	}
 	e.trimLocked()
 	return out, nil
@@ -308,6 +310,14 @@ type Estimate struct {
 // approaches keep their last good estimate published — degraded answers
 // stay available, flagged.
 func (e *Engine) Snapshot() map[mapmatch.Key]Estimate {
+	snap, _ := e.SnapshotVersioned()
+	return snap
+}
+
+// SnapshotVersioned is Snapshot plus the version the copy reflects, read
+// under one lock so the pair is consistent. Serving layers cache the
+// (expensive) copy and use Version to revalidate it cheaply.
+func (e *Engine) SnapshotVersioned() (map[mapmatch.Key]Estimate, uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	out := make(map[mapmatch.Key]Estimate, len(e.estimates))
@@ -315,7 +325,70 @@ func (e *Engine) Snapshot() map[mapmatch.Key]Estimate {
 		age := e.now - v.WindowEnd
 		out[k] = Estimate{Result: v, Age: age, Health: e.healthStateLocked(k, age)}
 	}
-	return out
+	return out, e.version
+}
+
+// Version returns a counter that increments whenever the published
+// estimates may have changed: after every estimation pass and every
+// Prime. A consumer holding a snapshot taken at version v knows the
+// engine's content is unchanged while Version still returns v — the
+// basis for cheap ETag-style revalidation without copying the map.
+func (e *Engine) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// EstimateFor returns the published estimate of one approach annotated
+// with age and health, without copying the whole snapshot — the accessor
+// behind per-key serving endpoints. ok is false when the approach has no
+// published estimate.
+func (e *Engine) EstimateFor(key mapmatch.Key) (Estimate, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.estimates[key]
+	if !ok {
+		return Estimate{}, false
+	}
+	age := e.now - v.WindowEnd
+	return Estimate{Result: v, Age: age, Health: e.healthStateLocked(key, age)}, true
+}
+
+// ApproachHealthFor returns the health snapshot of one approach without
+// assembling the engine-wide report. ok is false when the engine has
+// never seen the key (no estimate and no failure ledger).
+func (e *Engine) ApproachHealthFor(key mapmatch.Key) (ApproachHealth, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if _, ok := e.estimates[key]; !ok {
+		if _, ok := e.health[key]; !ok {
+			return ApproachHealth{}, false
+		}
+	}
+	return e.approachHealthLocked(key), true
+}
+
+// Prime publishes externally supplied estimates — e.g. persisted by a
+// previous run of a serving daemon — so a freshly started engine answers
+// live queries before its first window fills, exactly as if the pipeline
+// had produced each result at its WindowEnd. Entries with a non-nil Err
+// or a non-positive Cycle are ignored; each accepted entry is keyed by
+// its Result.Key and counts as a success in the failure ledger.
+func (e *Engine) Prime(results ...Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	changed := false
+	for _, res := range results {
+		if res.Err != nil || res.Cycle <= 0 {
+			continue
+		}
+		e.estimates[res.Key] = res
+		e.recordSuccessLocked(res.Key, res.WindowEnd)
+		changed = true
+	}
+	if changed {
+		e.version++
+	}
 }
 
 // StateOf answers the headline real-time question — is this approach red
@@ -337,18 +410,32 @@ func (e *Engine) StateOfHealth(key mapmatch.Key, t float64) (lights.State, Appro
 		h = e.approachHealthLocked(key)
 	}
 	e.mu.RUnlock()
-	if !ok || res.Cycle <= 0 {
+	state, _, ok2 := res.PhaseAt(t)
+	if !ok || !ok2 {
 		return lights.Red, h, false
 	}
-	// The estimate anchors the red phase at WindowStart+GreenToRedPhase.
-	phase := math.Mod(t-(res.WindowStart+res.GreenToRedPhase), res.Cycle)
+	return state, h, true
+}
+
+// PhaseAt evaluates the identified schedule at time t (seconds on the
+// stream axis): the light state plus how many seconds remain until the
+// next state change — the countdown a driver-facing endpoint serves. The
+// estimate anchors the red phase at WindowStart+GreenToRedPhase, so the
+// answer stays valid past WindowEnd for as long as the schedule holds.
+// ok is false when the result carries no usable schedule (failed
+// identification or non-positive cycle).
+func (r Result) PhaseAt(t float64) (state lights.State, untilChange float64, ok bool) {
+	if r.Err != nil || r.Cycle <= 0 {
+		return lights.Red, 0, false
+	}
+	phase := math.Mod(t-(r.WindowStart+r.GreenToRedPhase), r.Cycle)
 	if phase < 0 {
-		phase += res.Cycle
+		phase += r.Cycle
 	}
-	if phase < res.Red {
-		return lights.Red, h, true
+	if phase < r.Red {
+		return lights.Red, r.Red - phase, true
 	}
-	return lights.Green, h, true
+	return lights.Green, r.Cycle - phase, true
 }
 
 // Now returns the engine's stream clock.

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"taxilight/internal/core"
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/roadnet"
+)
+
+// endpointNames pre-registers the latency series for every endpoint.
+var endpointNames = []string{"/v1/state", "/v1/snapshot", "/healthz", "/metrics"}
+
+// Handler returns the HTTP API: per-approach state with countdown, the
+// cached city snapshot, health and metrics. The handler is independent
+// of the ingest loops — it reads the shard engines directly — so it can
+// be exercised with httptest against a hand-fed server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.handleState))
+	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.met.observeLatency(endpoint, time.Since(start).Seconds())
+	}
+}
+
+// stateJSON is the /v1/state/{light}/{approach} body: the live answer
+// ("red, 12.4 s to green") plus the estimate it came from and the health
+// state it was served under, so a consumer can weigh the answer.
+type stateJSON struct {
+	Light    int64   `json:"light"`
+	Approach string  `json:"approach"`
+	T        float64 `json:"t_s"`
+	// State is "red", "green" or "unknown" (health-only answer: the
+	// approach is known to the engine but has no usable schedule yet).
+	State string `json:"state"`
+	// CountdownSeconds is the time to the next state change; present
+	// only when State is red or green.
+	CountdownSeconds *float64 `json:"countdown_s,omitempty"`
+	NextState        string   `json:"next_state,omitempty"`
+	Health           string   `json:"health"`
+	// Estimate is the schedule behind the answer; absent for
+	// health-only answers.
+	Estimate *approachJSON `json:"estimate,omitempty"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// parseStateKey extracts the partition key from the request path.
+func parseStateKey(r *http.Request) (mapmatch.Key, error) {
+	light, err := strconv.ParseInt(r.PathValue("light"), 10, 64)
+	if err != nil {
+		return mapmatch.Key{}, fmt.Errorf("bad light id %q", r.PathValue("light"))
+	}
+	var app lights.Approach
+	switch strings.ToUpper(r.PathValue("approach")) {
+	case "NS":
+		app = lights.NorthSouth
+	case "EW":
+		app = lights.EastWest
+	default:
+		return mapmatch.Key{}, fmt.Errorf("bad approach %q (want NS or EW)", r.PathValue("approach"))
+	}
+	return mapmatch.Key{Light: roadnet.NodeID(light), Approach: app}, nil
+}
+
+// handleState answers the paper's headline query for one approach: the
+// current light state and the countdown to the next change, computed
+// from the published estimate at stream time t (the `t` query parameter,
+// defaulting to the owning shard's stream clock).
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	key, err := parseStateKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	sh := s.shardFor(key)
+	t := sh.engine.Now()
+	if q := r.URL.Query().Get("t"); q != "" {
+		t, err = strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad t %q", q)})
+			return
+		}
+	}
+	resp := stateJSON{
+		Light:    int64(key.Light),
+		Approach: key.Approach.String(),
+		T:        t,
+		State:    "unknown",
+	}
+	est, ok := sh.engine.EstimateFor(key)
+	if !ok {
+		// No estimate; the approach may still be known to the failure
+		// ledger (e.g. quarantined before its first success).
+		ah, known := sh.engine.ApproachHealthFor(key)
+		if !known {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no estimate for light %d approach %s", key.Light, key.Approach)})
+			return
+		}
+		resp.Health = ah.State.String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Health = est.Health.String()
+	aj := approachFromEstimate(key, est)
+	resp.Estimate = &aj
+	if state, until, ok := est.PhaseAt(t); ok {
+		resp.State = strings.ToLower(state.String())
+		resp.CountdownSeconds = &until
+		next := lights.Red
+		if state == lights.Red {
+			next = lights.Green
+		}
+		resp.NextState = strings.ToLower(next.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot serves the cached whole-city snapshot with ETag
+// revalidation: a request carrying the current tag costs a version
+// compare and a 304.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	etag, body := s.snapshot()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// etagMatches implements the If-None-Match comparison (weak comparison,
+// including the `*` wildcard).
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		candidate := strings.TrimSpace(part)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// healthzJSON is the /healthz body: per-shard approach-health counts and
+// feed liveness.
+type healthzJSON struct {
+	Status string `json:"status"`
+	// Fresh/Stale/Quarantined count approaches across all shards.
+	Fresh       int `json:"fresh"`
+	Stale       int `json:"stale"`
+	Quarantined int `json:"quarantined"`
+	// Buffered / DroppedOld / DroppedOverflow aggregate the engines'
+	// bounded-memory accounting.
+	Buffered        int   `json:"buffered_records"`
+	DroppedOld      int64 `json:"dropped_old_records"`
+	DroppedOverflow int64 `json:"dropped_overflow_records"`
+	// LastIngestAgeSeconds is wall-clock seconds since any shard last
+	// ingested a batch; -1 before the first batch.
+	LastIngestAgeSeconds float64 `json:"last_ingest_age_s"`
+	Shards               int     `json:"shards"`
+}
+
+// healthReport aggregates every shard's engine health.
+func (s *Server) healthReport() healthzJSON {
+	doc := healthzJSON{Shards: len(s.shards), LastIngestAgeSeconds: -1}
+	var lastIngest int64
+	for _, sh := range s.shards {
+		rep := sh.engine.Health()
+		doc.Buffered += rep.BufferedRecords
+		doc.DroppedOld += rep.DroppedOldRecords
+		doc.DroppedOverflow += rep.DroppedOverflowRecords
+		for _, ah := range rep.Approaches {
+			switch ah.State {
+			case core.Fresh:
+				doc.Fresh++
+			case core.Stale:
+				doc.Stale++
+			case core.Quarantined:
+				doc.Quarantined++
+			}
+		}
+		if w := sh.lastIngestWall.Load(); w > lastIngest {
+			lastIngest = w
+		}
+	}
+	if lastIngest > 0 {
+		doc.LastIngestAgeSeconds = time.Since(time.Unix(0, lastIngest)).Seconds()
+	}
+	return doc
+}
+
+// handleHealthz reports serving condition: 200 while at least one
+// approach is Fresh and the feed is alive, 503 when every approach is
+// stale or quarantined (or none exists yet) — degraded answers are still
+// served on /v1/*, but load balancers should stop preferring this
+// instance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := s.healthReport()
+	code := http.StatusOK
+	doc.Status = "ok"
+	if doc.Fresh == 0 {
+		code = http.StatusServiceUnavailable
+		doc.Status = "no fresh estimates"
+	} else if max := s.cfg.StaleFeedAfter; max > 0 && doc.LastIngestAgeSeconds >= 0 &&
+		doc.LastIngestAgeSeconds > max.Seconds() {
+		code = http.StatusServiceUnavailable
+		doc.Status = "feed silent"
+	}
+	writeJSON(w, code, doc)
+}
+
+// handleMetrics renders the Prometheus text exposition. Gauges that
+// mirror engine state are computed at scrape time; the estimate-age
+// histogram accumulates at snapshot rebuilds, so the scrape first
+// revalidates the snapshot cache.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.snapshot() // refresh age observations if any engine published
+	doc := s.healthReport()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m := s.met
+	fmt.Fprintln(w, "# TYPE lightd_ingest_records_total counter")
+	m.ingestRecords.write(w, "lightd_ingest_records_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_ingest_matched_total counter")
+	m.ingestMatched.write(w, "lightd_ingest_matched_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_ingest_unmatched_total counter")
+	m.ingestUnmatched.write(w, "lightd_ingest_unmatched_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_ingest_dropped_total counter")
+	m.ingestDropped.write(w, "lightd_ingest_dropped_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_ingest_records_per_second gauge")
+	writeSample(w, "lightd_ingest_records_per_second", "", m.ingestRate(time.Now().UnixNano()))
+
+	fmt.Fprintln(w, "# TYPE lightd_scanner_lines_total counter")
+	m.scanLines.write(w, "lightd_scanner_lines_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_scanner_skipped_total counter")
+	m.skipMu.Lock()
+	classes := make([]string, 0, len(m.skipByClass))
+	for c := range m.skipByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		writeSample(w, "lightd_scanner_skipped_total", fmt.Sprintf(`class=%q`, c), float64(m.skipByClass[c]))
+	}
+	m.skipMu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE lightd_approaches gauge")
+	writeSample(w, "lightd_approaches", `health="fresh"`, float64(doc.Fresh))
+	writeSample(w, "lightd_approaches", `health="stale"`, float64(doc.Stale))
+	writeSample(w, "lightd_approaches", `health="quarantined"`, float64(doc.Quarantined))
+	fmt.Fprintln(w, "# TYPE lightd_buffered_records gauge")
+	writeSample(w, "lightd_buffered_records", "", float64(doc.Buffered))
+	fmt.Fprintln(w, "# TYPE lightd_engine_dropped_records_total counter")
+	writeSample(w, "lightd_engine_dropped_records_total", `reason="old"`, float64(doc.DroppedOld))
+	writeSample(w, "lightd_engine_dropped_records_total", `reason="overflow"`, float64(doc.DroppedOverflow))
+	fmt.Fprintln(w, "# TYPE lightd_scheduling_changes_total counter")
+	m.schedChanges.write(w, "lightd_scheduling_changes_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_advance_errors_total counter")
+	m.advanceErrors.write(w, "lightd_advance_errors_total", "")
+
+	fmt.Fprintln(w, "# TYPE lightd_estimate_age_seconds histogram")
+	m.estimateAge.write(w, "lightd_estimate_age_seconds", "")
+
+	fmt.Fprintln(w, "# TYPE lightd_http_request_duration_seconds histogram")
+	m.latMu.Lock()
+	eps := make([]string, 0, len(m.latencies))
+	for ep := range m.latencies {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		m.latencies[ep].write(w, "lightd_http_request_duration_seconds", fmt.Sprintf(`path=%q`, ep))
+	}
+	m.latMu.Unlock()
+}

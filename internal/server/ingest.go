@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/trace"
+)
+
+// RunSource ingests one Table-I CSV feed described by src and blocks
+// until it ends or ctx is cancelled:
+//
+//   - "-"            reads stdin (the `tracegen -stream | lightd -in -` path)
+//   - "tcp://addr"   listens on addr and ingests every accepted
+//     connection concurrently (push feeds)
+//   - anything else  is a file path, ".gz"-aware
+//
+// Every reader goes through the lenient scanner: malformed lines are
+// skipped and surface per error class in /metrics, and only blowing the
+// malformed-fraction budget aborts the source. A file or stdin source
+// returning nil means clean EOF — the daemon keeps serving estimates
+// after a replay ends.
+func (s *Server) RunSource(ctx context.Context, src string) error {
+	if s.matcher == nil {
+		return fmt.Errorf("server: RunSource needs a matcher (built with New(matcher, cfg))")
+	}
+	switch {
+	case src == "-":
+		return s.ingestReader(ctx, os.Stdin)
+	case strings.HasPrefix(src, "tcp://"):
+		return s.listenTCP(ctx, strings.TrimPrefix(src, "tcp://"))
+	default:
+		sc, closer, err := trace.OpenFile(src)
+		if err != nil {
+			return err
+		}
+		sc.SetLenient(s.cfg.Lenient)
+		err = s.ingestScanner(ctx, sc)
+		if cerr := closer.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+}
+
+// listenTCP accepts push connections until ctx ends; each connection is
+// scanned independently, so one client blowing its malformed budget does
+// not end the others.
+func (s *Server) listenTCP(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				s.sourceWG.Wait()
+				return nil
+			}
+			s.sourceWG.Wait()
+			return err
+		}
+		s.sourceWG.Add(1)
+		go func(conn net.Conn) {
+			defer s.sourceWG.Done()
+			defer conn.Close()
+			unhook := context.AfterFunc(ctx, func() { conn.Close() })
+			defer unhook()
+			_ = s.ingestReader(ctx, conn)
+		}(conn)
+	}
+}
+
+// ingestReader scans one raw feed leniently and ingests it.
+func (s *Server) ingestReader(ctx context.Context, r io.Reader) error {
+	return s.ingestScanner(ctx, trace.NewLenientScanner(r, s.cfg.Lenient))
+}
+
+// ingestScanner is the dispatch loop: parse → map-match → batch by shard
+// → send. Batches flush when full and at least every FlushEvery, so a
+// slow realtime-paced feed still reaches the engines promptly.
+func (s *Server) ingestScanner(ctx context.Context, sc *trace.Scanner) error {
+	batches := make([][]mapmatch.Matched, len(s.shards))
+	lastFlush := time.Now()
+	var prevStats trace.SkipStats
+	flush := func(idx int) {
+		if len(batches[idx]) > 0 {
+			s.sendBatch(ctx, idx, batches[idx])
+			batches[idx] = nil
+		}
+	}
+	flushAll := func() {
+		for idx := range batches {
+			flush(idx)
+		}
+		lastFlush = time.Now()
+		st := sc.Stats()
+		s.syncScanStats(&prevStats, st)
+	}
+	defer flushAll()
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		rec := sc.Record()
+		s.met.ingestRecords.Add(1)
+		if m, ok := s.matcher.Match(rec); ok {
+			s.met.ingestMatched.Add(1)
+			idx := shardIndex(mapmatch.Key{Light: m.Light, Approach: m.Approach}, len(s.shards))
+			batches[idx] = append(batches[idx], m)
+			if len(batches[idx]) >= s.cfg.BatchSize {
+				flush(idx)
+			}
+		} else {
+			s.met.ingestUnmatched.Add(1)
+		}
+		if time.Since(lastFlush) >= s.cfg.FlushEvery {
+			flushAll()
+		}
+	}
+	return sc.Err()
+}
+
+// syncScanStats folds one scanner's skip accounting into the daemon
+// totals as deltas, so multiple concurrent sources aggregate correctly.
+func (s *Server) syncScanStats(prev *trace.SkipStats, cur trace.SkipStats) {
+	if d := cur.Lines - prev.Lines; d > 0 {
+		s.met.scanLines.Add(int64(d))
+	}
+	deltas := make(map[string]int64)
+	for c, n := range cur.ByClass {
+		if d := n - prev.ByClass[c]; d > 0 {
+			deltas[c] = int64(d)
+		}
+	}
+	if len(deltas) > 0 {
+		s.met.addSkips(deltas)
+	}
+	*prev = cur
+}

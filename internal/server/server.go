@@ -1,0 +1,251 @@
+// Package server is the network-facing serving subsystem: the layer that
+// turns the in-process realtime engine into the paper's end product — a
+// service drivers query for "is this light red, and for how long?"
+// against live taxi feeds (§V). Trace ingest is sharded across N
+// core.Engine instances by hashed partition key (one goroutine and one
+// bounded channel per shard), and an HTTP JSON API serves per-approach
+// state with countdown, a cached whole-city snapshot revalidated via
+// ETag, engine health, and Prometheus metrics.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"taxilight/internal/core"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/trace"
+)
+
+// Config tunes the serving daemon.
+type Config struct {
+	// Shards is the number of engine shards; ingest keys are hashed
+	// across them. More shards mean more estimation parallelism and
+	// smaller per-engine locks.
+	Shards int
+	// ShardBuffer is the per-shard channel capacity in batches; a full
+	// channel blocks the dispatcher (backpressure on the source).
+	ShardBuffer int
+	// BatchSize caps how many matched records a dispatcher accumulates
+	// for one shard before sending.
+	BatchSize int
+	// FlushEvery bounds how long a dispatcher may hold a partial batch,
+	// so a slow (paced) feed still reaches the engines promptly.
+	FlushEvery time.Duration
+	// TickEvery is the wall-clock cadence at which idle shards advance
+	// their engine clock to the newest record seen.
+	TickEvery time.Duration
+	// Lenient configures the malformed-line budget of every ingest
+	// scanner (see trace.LenientConfig).
+	Lenient trace.LenientConfig
+	// Realtime configures each shard's engine.
+	Realtime core.RealtimeConfig
+	// ReadTimeout/WriteTimeout/IdleTimeout harden the HTTP listener;
+	// ShutdownGrace bounds how long graceful shutdown waits for in-flight
+	// requests.
+	ReadTimeout   time.Duration
+	WriteTimeout  time.Duration
+	IdleTimeout   time.Duration
+	ShutdownGrace time.Duration
+	// StaleFeedAfter is how long (wall clock) the feed may be silent
+	// before /healthz degrades; 0 disables the liveness check.
+	StaleFeedAfter time.Duration
+}
+
+// DefaultConfig is the posture lightd starts with: four shards, the
+// paper's estimation cadence, lenient ingestion, second-granularity
+// ticks and conservative HTTP timeouts.
+func DefaultConfig() Config {
+	return Config{
+		Shards:         4,
+		ShardBuffer:    64,
+		BatchSize:      256,
+		FlushEvery:     200 * time.Millisecond,
+		TickEvery:      time.Second,
+		Lenient:        trace.DefaultLenientConfig(),
+		Realtime:       core.DefaultRealtimeConfig(),
+		ReadTimeout:    5 * time.Second,
+		WriteTimeout:   10 * time.Second,
+		IdleTimeout:    60 * time.Second,
+		ShutdownGrace:  5 * time.Second,
+		StaleFeedAfter: 2 * time.Minute,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("server: non-positive shard count %d", c.Shards)
+	case c.ShardBuffer <= 0:
+		return fmt.Errorf("server: non-positive shard buffer %d", c.ShardBuffer)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("server: non-positive batch size %d", c.BatchSize)
+	case c.FlushEvery <= 0 || c.TickEvery <= 0:
+		return fmt.Errorf("server: non-positive cadence (flush %v, tick %v)", c.FlushEvery, c.TickEvery)
+	case c.ShutdownGrace < 0 || c.StaleFeedAfter < 0:
+		return fmt.Errorf("server: negative timeout (grace %v, stale-feed %v)", c.ShutdownGrace, c.StaleFeedAfter)
+	}
+	return c.Realtime.Validate()
+}
+
+// Server shards trace ingest across engines and serves the HTTP API.
+// Construct with New, launch shard loops with Start, feed it via
+// RunSource (or Dispatch), and serve the handler from ListenAndServe.
+type Server struct {
+	cfg     Config
+	matcher *mapmatch.Matcher
+	shards  []*shard
+	met     *metrics
+	snap    snapshotCache
+
+	shardWG  sync.WaitGroup
+	sourceWG sync.WaitGroup
+	started  bool
+	stopOnce sync.Once
+}
+
+// New builds a server with cfg.Shards idle engines. matcher attributes
+// raw records to signal approaches; it may be nil when the caller feeds
+// pre-matched records via Dispatch only.
+func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		matcher: matcher,
+		met:     newMetrics(endpointNames),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		eng, err := core.NewEngine(cfg.Realtime)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &shard{
+			id:     i,
+			engine: eng,
+			in:     make(chan []mapmatch.Matched, cfg.ShardBuffer),
+		})
+	}
+	return s, nil
+}
+
+// Start launches the shard loops. It must be called before Dispatch or
+// RunSource; handlers work without it (they read the engines directly).
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, sh := range s.shards {
+		s.shardWG.Add(1)
+		go sh.loop(s)
+	}
+}
+
+// Dispatch routes matched records to their shards, blocking when a
+// shard's channel is full (backpressure) unless ctx is cancelled, in
+// which case the remainder is dropped and counted.
+func (s *Server) Dispatch(ctx context.Context, ms []mapmatch.Matched) {
+	if len(ms) == 0 {
+		return
+	}
+	batches := make(map[int][]mapmatch.Matched)
+	for _, m := range ms {
+		idx := shardIndex(mapmatch.Key{Light: m.Light, Approach: m.Approach}, len(s.shards))
+		batches[idx] = append(batches[idx], m)
+	}
+	for idx, batch := range batches {
+		s.sendBatch(ctx, idx, batch)
+	}
+}
+
+// sendBatch delivers one batch to one shard, counting it as dropped if
+// the context ends first.
+func (s *Server) sendBatch(ctx context.Context, idx int, batch []mapmatch.Matched) {
+	select {
+	case s.shards[idx].in <- batch:
+	case <-ctx.Done():
+		s.met.ingestDropped.Add(int64(len(batch)))
+	}
+}
+
+// StopIngest closes the shard channels and waits for every shard to
+// drain and run its final Advance — the "drain shards" half of graceful
+// shutdown. All sources must have returned before calling it.
+func (s *Server) StopIngest() {
+	s.stopOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+	})
+	s.shardWG.Wait()
+}
+
+// Engines exposes the per-shard engines for priming (warm restart) and
+// inspection. The slice is owned by the server; do not mutate it.
+func (s *Server) Engines() []*core.Engine {
+	out := make([]*core.Engine, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.engine
+	}
+	return out
+}
+
+// Summary renders the daemon's final accounting — ingest totals, skip
+// classes and engine health — for the shutdown log, so a drained daemon
+// leaves its flushed metrics on the operator's terminal.
+func (s *Server) Summary() string {
+	doc := s.healthReport()
+	m := s.met
+	m.skipMu.Lock()
+	skipped := int64(0)
+	classes := make(map[string]int64, len(m.skipByClass))
+	for c, n := range m.skipByClass {
+		if n > 0 {
+			classes[c] = n
+			skipped += n
+		}
+	}
+	m.skipMu.Unlock()
+	out := fmt.Sprintf("  ingested %d records (%d matched, %d unmatched, %d dropped at dispatch)\n",
+		m.ingestRecords.Load(), m.ingestMatched.Load(), m.ingestUnmatched.Load(), m.ingestDropped.Load())
+	out += fmt.Sprintf("  scanner: %d lines, %d skipped %v\n", m.scanLines.Load(), skipped, classes)
+	out += fmt.Sprintf("  approaches: %d fresh, %d stale, %d quarantined; %d records buffered\n",
+		doc.Fresh, doc.Stale, doc.Quarantined, doc.Buffered)
+	out += fmt.Sprintf("  engine drops: %d old, %d overflow; %d scheduling changes, %d advance errors",
+		doc.DroppedOld, doc.DroppedOverflow, m.schedChanges.Load(), m.advanceErrors.Load())
+	return out
+}
+
+// shardFor returns the shard owning one partition key.
+func (s *Server) shardFor(k mapmatch.Key) *shard {
+	return s.shards[shardIndex(k, len(s.shards))]
+}
+
+// ListenAndServe serves the HTTP API on addr with the configured
+// timeouts until ctx is cancelled, then shuts down gracefully, waiting
+// up to ShutdownGrace for in-flight requests.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:         addr,
+		Handler:      s.Handler(),
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+		IdleTimeout:  s.cfg.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"taxilight/internal/core"
+	"taxilight/internal/mapmatch"
+)
+
+// shard owns one core.Engine and the goroutine that feeds it. Ingest is
+// sharded by hashed partition key, so every record of one signal
+// approach lands on the same engine and the engines never contend on a
+// shared lock: the serving layer scales with cores the same way the
+// batch pipeline does (DESIGN.md §6).
+type shard struct {
+	id     int
+	engine *core.Engine
+	// in carries matched-record batches from the dispatchers. The
+	// channel is bounded: a shard that cannot keep up pushes back on the
+	// ingest source instead of growing without bound.
+	in chan []mapmatch.Matched
+	// maxT is the latest record time (stream seconds, float64 bits) seen
+	// by this shard; the tick loop advances the engine clock to it.
+	maxT atomic.Uint64
+	// lastIngestWall is the wall-clock time (unix nanos) of the last
+	// batch, 0 before the first — the liveness signal /healthz reports.
+	lastIngestWall atomic.Int64
+}
+
+// shardIndex hashes a partition key onto one of n shards (FNV-1a over
+// the light id and approach).
+func shardIndex(k mapmatch.Key, n int) int {
+	h := fnv.New32a()
+	var b [9]byte
+	v := uint64(int64(k.Light))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	b[8] = byte(k.Approach)
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}
+
+// noteMaxT raises the shard's high-water record time.
+func (sh *shard) noteMaxT(t float64) {
+	for {
+		old := sh.maxT.Load()
+		if t <= floatFromBits(old) {
+			return
+		}
+		if sh.maxT.CompareAndSwap(old, floatBits(t)) {
+			return
+		}
+	}
+}
+
+// loop is the shard goroutine: ingest batches as they arrive, advance
+// the engine clock to the newest record time after every batch and on
+// every tick, and drain completely before exiting when the channel
+// closes (graceful shutdown).
+func (sh *shard) loop(s *Server) {
+	defer s.shardWG.Done()
+	ticker := time.NewTicker(s.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case batch, ok := <-sh.in:
+			if !ok {
+				sh.advance(s)
+				return
+			}
+			sh.ingest(s, batch)
+			sh.advance(s)
+		case <-ticker.C:
+			sh.advance(s)
+		}
+	}
+}
+
+// ingest feeds one batch to the engine and updates the shard's clocks.
+func (sh *shard) ingest(s *Server, batch []mapmatch.Matched) {
+	sh.engine.Ingest(batch)
+	for _, m := range batch {
+		sh.noteMaxT(m.T)
+	}
+	sh.lastIngestWall.Store(time.Now().UnixNano())
+}
+
+// advance moves the engine clock to the shard's newest record time. The
+// engine only does real work when the stream clock crosses an estimation
+// interval, so calling this per batch is cheap. Advance errors are
+// counted, not fatal: one bad pass must not stop the serving loop.
+func (sh *shard) advance(s *Server) {
+	t := floatFromBits(sh.maxT.Load())
+	if t <= sh.engine.Now() {
+		return
+	}
+	changes, err := sh.engine.Advance(t)
+	if err != nil {
+		s.met.advanceErrors.Add(1)
+		return
+	}
+	if len(changes) > 0 {
+		s.met.schedChanges.Add(int64(len(changes)))
+	}
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

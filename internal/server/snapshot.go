@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"taxilight/internal/core"
+	"taxilight/internal/mapmatch"
+)
+
+// approachJSON is one approach in the /v1/snapshot (and /v1/state) body.
+type approachJSON struct {
+	Light    int64   `json:"light"`
+	Approach string  `json:"approach"`
+	Cycle    float64 `json:"cycle_s"`
+	Red      float64 `json:"red_s"`
+	Green    float64 `json:"green_s"`
+	// GreenToRed is the green→red change time as a phase within
+	// [0, cycle), measured from window_start — with window_start it
+	// anchors the schedule on the stream time axis.
+	GreenToRed  float64 `json:"green_to_red_phase_s"`
+	WindowStart float64 `json:"window_start_s"`
+	WindowEnd   float64 `json:"window_end_s"`
+	Quality     float64 `json:"quality"`
+	Records     int     `json:"records"`
+	AgeSeconds  float64 `json:"age_s"`
+	Health      string  `json:"health"`
+}
+
+// snapshotJSON is the /v1/snapshot body: every published approach across
+// all shards, sorted by (light, approach) for stable output.
+type snapshotJSON struct {
+	// Now is the newest shard stream clock, seconds.
+	Now        float64        `json:"now_s"`
+	Approaches []approachJSON `json:"approaches"`
+}
+
+// snapshotCache holds the rendered /v1/snapshot body together with the
+// per-shard engine versions it reflects. Engine versions only move when
+// an estimation pass publishes (at most once per engine tick), so the
+// full map copy + render runs at most once per tick however many
+// requests arrive in between — every other request is a version compare
+// plus a cached-bytes write, and If-None-Match requests collapse to a
+// 304 with no body at all.
+type snapshotCache struct {
+	mu       sync.Mutex
+	versions []uint64
+	etag     string
+	body     []byte
+}
+
+// snapshot returns the current ETag and rendered body, rebuilding only
+// when some shard's engine version moved since the cached copy.
+func (s *Server) snapshot() (etag string, body []byte) {
+	cur := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		cur[i] = sh.engine.Version()
+	}
+	s.snap.mu.Lock()
+	defer s.snap.mu.Unlock()
+	if s.snap.body != nil && versionsEqual(s.snap.versions, cur) {
+		return s.snap.etag, s.snap.body
+	}
+	doc := snapshotJSON{Approaches: []approachJSON{}}
+	for i, sh := range s.shards {
+		snap, v := sh.engine.SnapshotVersioned()
+		cur[i] = v
+		if now := sh.engine.Now(); now > doc.Now {
+			doc.Now = now
+		}
+		for k, est := range snap {
+			doc.Approaches = append(doc.Approaches, approachFromEstimate(k, est))
+			s.met.estimateAge.Observe(est.Age)
+		}
+	}
+	sort.Slice(doc.Approaches, func(i, j int) bool {
+		a, b := doc.Approaches[i], doc.Approaches[j]
+		if a.Light != b.Light {
+			return a.Light < b.Light
+		}
+		return a.Approach < b.Approach
+	})
+	body, err := json.Marshal(doc)
+	if err != nil {
+		// The document is plain data; marshalling cannot fail. Keep the
+		// invariant visible rather than silently serving stale bytes.
+		panic(fmt.Sprintf("server: snapshot marshal: %v", err))
+	}
+	s.snap.versions = cur
+	s.snap.body = body
+	s.snap.etag = etagFor(cur, len(doc.Approaches))
+	return s.snap.etag, s.snap.body
+}
+
+// approachFromEstimate renders one engine estimate for the API.
+func approachFromEstimate(k mapmatch.Key, est core.Estimate) approachJSON {
+	return approachJSON{
+		Light:       int64(k.Light),
+		Approach:    k.Approach.String(),
+		Cycle:       est.Cycle,
+		Red:         est.Red,
+		Green:       est.Green,
+		GreenToRed:  est.GreenToRedPhase,
+		WindowStart: est.WindowStart,
+		WindowEnd:   est.WindowEnd,
+		Quality:     est.Quality,
+		Records:     est.Records,
+		AgeSeconds:  est.Age,
+		Health:      est.Health.String(),
+	}
+}
+
+// etagFor derives a strong ETag from the shard version vector: equal
+// vectors mean unchanged content, so the tag is stable across identical
+// rebuilds and changes whenever any engine publishes.
+func etagFor(versions []uint64, approaches int) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range versions {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf(`"%d-%016x"`, approaches, h.Sum64())
+}
+
+func versionsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

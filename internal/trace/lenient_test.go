@@ -30,8 +30,8 @@ func buildFeed(good int, bad []string) string {
 
 func TestLenientScannerSkipsMalformedMidFile(t *testing.T) {
 	bad := []string{
-		"garbage",                              // fields
-		strings.Repeat("x,", 11) + "x",         // coord (12 fields, bad lon)
+		"garbage",                      // fields
+		strings.Repeat("x,", 11) + "x", // coord (12 fields, bad lon)
 		"B1,113900000,22500000,not a time,900000,10.0,90.0,1,0,sim,0,red", // time
 	}
 	sc := NewLenientScanner(strings.NewReader(buildFeed(60, bad)), DefaultLenientConfig())

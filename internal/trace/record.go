@@ -100,6 +100,15 @@ const (
 	ClassOther   = "other"   // not a classified parse error
 )
 
+// Classes lists every parse-error class a lenient scanner can report, in
+// stable order. Metric exporters use it to pre-register one series per
+// class before the first malformed line arrives, so dashboards show an
+// explicit zero rather than a missing series.
+func Classes() []string {
+	return []string{ClassFields, ClassCoord, ClassTime, ClassDevice,
+		ClassNumber, ClassFlag, ClassInvalid, ClassOther}
+}
+
 // ParseError is a malformed-line error carrying a stable class tag.
 type ParseError struct {
 	Class string

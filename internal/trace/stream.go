@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 )
 
 // LenientConfig tunes the scanner's tolerant mode: malformed lines are
@@ -72,6 +73,9 @@ type Scanner struct {
 
 	lenient bool
 	lcfg    LenientConfig
+	// statsMu guards stats so a serving layer can poll Stats from a
+	// metrics endpoint while the ingest goroutine is mid-Scan.
+	statsMu sync.Mutex
 	stats   SkipStats
 }
 
@@ -102,7 +106,11 @@ func (s *Scanner) SetLenient(cfg LenientConfig) {
 }
 
 // Stats returns the line accounting so far. The ByClass map is a copy.
+// Stats is safe to call concurrently with Scan — the stable accessor a
+// serving daemon's metrics endpoint polls against a live feed.
 func (s *Scanner) Stats() SkipStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	out := s.stats
 	out.ByClass = make(map[string]int, len(s.stats.ByClass))
 	for k, v := range s.stats.ByClass {
@@ -125,7 +133,9 @@ func (s *Scanner) Scan() bool {
 		if line == "" {
 			continue
 		}
+		s.statsMu.Lock()
 		s.stats.Lines++
+		s.statsMu.Unlock()
 		err := s.rec.UnmarshalCSV(line)
 		if err == nil && s.lenient && s.lcfg.Validate {
 			if verr := s.rec.Validate(); verr != nil {
@@ -137,12 +147,16 @@ func (s *Scanner) Scan() bool {
 				s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
 				return false
 			}
+			s.statsMu.Lock()
 			s.stats.Skipped++
 			s.stats.ByClass[ClassOf(err)]++
-			if s.stats.Lines >= s.lcfg.MinLines &&
-				float64(s.stats.Skipped) > s.lcfg.MaxBadFraction*float64(s.stats.Lines) {
+			blown := s.stats.Lines >= s.lcfg.MinLines &&
+				float64(s.stats.Skipped) > s.lcfg.MaxBadFraction*float64(s.stats.Lines)
+			skipped, lines := s.stats.Skipped, s.stats.Lines
+			s.statsMu.Unlock()
+			if blown {
 				s.err = fmt.Errorf("%w: %d of %d lines malformed (budget %.1f%%), last at line %d: %v",
-					ErrBadLineBudget, s.stats.Skipped, s.stats.Lines,
+					ErrBadLineBudget, skipped, lines,
 					100*s.lcfg.MaxBadFraction, s.lineNo, err)
 				return false
 			}
