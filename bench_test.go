@@ -23,6 +23,7 @@ import (
 	"taxilight/internal/navigation"
 	"taxilight/internal/roadnet"
 	"taxilight/internal/server"
+	"taxilight/internal/store"
 	"taxilight/internal/trace"
 )
 
@@ -483,6 +484,104 @@ func BenchmarkServerSnapshot(b *testing.B) {
 			engines[0].Prime(res)
 			if rec := get(""); rec.Code != http.StatusOK {
 				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}
+
+// --- Durable store: WAL append and time-travel queries ---
+
+// walResult builds a distinct estimate for one append.
+func walResult(i int) core.Result {
+	return core.Result{
+		Key:   mapmatch.Key{Light: roadnet.NodeID(i % 64), Approach: lights.Approach(i % 2)},
+		Cycle: 90 + float64(i%40), Red: 35, Green: 55 + float64(i%40),
+		WindowStart: float64(300 * i), WindowEnd: 1800 + float64(300*i),
+		Records: 100, Quality: 0.6,
+	}
+}
+
+// BenchmarkWALAppend quantifies the group-commit design (DESIGN.md §9):
+// per-record fsync pays the full device sync latency on every estimate,
+// batched sync amortises it across SyncEvery records.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, v := range []struct {
+		name      string
+		syncEvery int
+	}{
+		{"PerRecordFsync", 1},
+		{"Batched64", 64},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := store.DefaultConfig()
+			cfg.SyncEvery = v.syncEvery
+			cfg.SyncInterval = 0
+			cfg.CompactEvery = 0
+			st, err := store.Open(b.TempDir(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec, ok := store.FromResult(walResult(i))
+				if !ok {
+					b.Fatal("FromResult rejected bench result")
+				}
+				if err := st.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := st.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkHistoryQuery measures the as-of and ranged read paths over a
+// multi-segment WAL (the segment time-bounds catalog should keep both
+// sublinear in total store size).
+func BenchmarkHistoryQuery(b *testing.B) {
+	cfg := store.DefaultConfig()
+	cfg.SegmentMaxBytes = 64 << 10 // force a many-segment store
+	cfg.SyncEvery = 1 << 20
+	cfg.SyncInterval = 0
+	cfg.CompactEvery = 0
+	st, err := store.Open(b.TempDir(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		rec, _ := store.FromResult(walResult(i))
+		if err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	key := mapmatch.Key{Light: 0, Approach: lights.NorthSouth}
+	lastEnd := 1800 + float64(300*(n-1))
+
+	b.Run("RangedTail", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, err := st.History(key, lastEnd-200000, lastEnd, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) == 0 {
+				b.Fatal("empty tail query")
+			}
+		}
+	})
+	b.Run("AsOf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := st.AsOf(key, lastEnd/2); err != nil || !ok {
+				b.Fatalf("as-of miss: ok=%v err=%v", ok, err)
 			}
 		}
 	})

@@ -33,6 +33,7 @@ import (
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/roadnet"
 	"taxilight/internal/server"
+	"taxilight/internal/store"
 )
 
 func main() {
@@ -51,7 +52,22 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 	grace := flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown budget for in-flight requests")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "ingest drain budget at shutdown before giving up (0 = wait forever)")
+	storeDir := flag.String("store-dir", "", "durable estimate store directory; empty disables persistence")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to checkpoint engine state into the store")
+	retention := flag.Duration("retention", 0, "drop WAL segments older than this stream age (0 keeps all ages)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "drop oldest WAL segments while the store exceeds this size (0 = no cap)")
 	flag.Parse()
+
+	// Fail fast on nonsense flags: a mistyped shard count or bad-line
+	// budget should be a clear startup error, not a crash or a silently
+	// absurd config minutes into a run.
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be >= 0 (0 means default), got %d", *shards))
+	}
+	if *maxBadFrac < 0 || *maxBadFrac > 1 {
+		fatal(fmt.Errorf("-max-bad-frac must be within [0, 1], got %g", *maxBadFrac))
+	}
 
 	net, err := loadNetwork(*netFile, *osmFile, *rows, *cols, *seed)
 	if err != nil {
@@ -73,13 +89,50 @@ func main() {
 	cfg.ReadTimeout = *readTimeout
 	cfg.WriteTimeout = *writeTimeout
 	cfg.ShutdownGrace = *grace
+	cfg.CheckpointInterval = *ckptEvery
+
+	// The durable store opens before the server so recovery (checkpoint
+	// load, WAL tail replay, torn-tail truncation) happens while nothing
+	// is being served yet.
+	var st *store.Store
+	if *storeDir != "" {
+		scfg := store.DefaultConfig()
+		scfg.RetentionAge = retention.Seconds()
+		scfg.RetentionBytes = *storeMaxBytes
+		st, err = store.Open(*storeDir, scfg)
+		if err != nil {
+			fatal(fmt.Errorf("store: %w", err))
+		}
+		cfg.Store = st
+	}
+
 	srv, err := server.New(matcher, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if st != nil {
+		recovered, replayed := st.RecoveredState()
+		if n := srv.Restore(recovered); n > 0 {
+			fmt.Fprintf(os.Stderr, "lightd: warm start: %d approaches restored from %s (%d replayed from the WAL tail, stream clock %.0f s)\n",
+				n, st.Dir(), replayed, recovered.Now)
+		}
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// First SIGINT/SIGTERM starts the graceful drain; a second one
+	// force-exits immediately — an operator mashing ctrl-C must never be
+	// left watching a hung drain.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "lightd: %v: draining (signal again to force exit)\n", sig)
+		cancel()
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "lightd: second %v: forcing exit without draining\n", sig)
+		os.Exit(130)
+	}()
 
 	srv.Start()
 	fmt.Fprintf(os.Stderr, "lightd: %d shards, network %d nodes / %d segments, serving on %s, ingesting %s\n",
@@ -102,9 +155,29 @@ func main() {
 	}
 
 	// Graceful shutdown: the HTTP side is already drained; now drain the
-	// ingest side and flush the final accounting to the operator.
-	stop()
-	srv.StopIngest()
+	// ingest side — bounded by -drain-timeout so a wedged source can only
+	// delay exit, not prevent it — and flush the final accounting.
+	cancel()
+	drained := make(chan struct{})
+	go func() {
+		srv.StopIngest()
+		close(drained)
+	}()
+	if *drainTimeout > 0 {
+		select {
+		case <-drained:
+		case <-time.After(*drainTimeout):
+			fmt.Fprintf(os.Stderr, "lightd: drain exceeded %v; exiting without a clean drain\n", *drainTimeout)
+			os.Exit(1)
+		}
+	} else {
+		<-drained
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lightd: store close:", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "lightd: drained; final counters:")
 	fmt.Fprintln(os.Stderr, srv.Summary())
 }

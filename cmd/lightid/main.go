@@ -47,6 +47,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *maxBadFrac < 0 || *maxBadFrac > 1 {
+		fatal(fmt.Errorf("-max-bad-frac must be within [0, 1], got %g", *maxBadFrac))
+	}
 	sc, closer, err := trace.OpenFile(*traceFile)
 	if err != nil {
 		fatal(err)

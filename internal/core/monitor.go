@@ -186,6 +186,29 @@ func (m *Monitor) Feed(p CyclePoint) []SchedulingChange {
 // Series returns the full estimate series fed so far.
 func (m *Monitor) Series() []CyclePoint { return append([]CyclePoint(nil), m.series...) }
 
+// RestoreMonitor rebuilds a streaming monitor from a previously exported
+// series (Monitor.Series of an earlier run, persisted across restarts).
+// Changes already confirmed by the old monitor are re-detected and
+// marked emitted, so a restored monitor only reports changes that happen
+// after the restore point — a restart must not re-announce every
+// historical plan switch.
+func RestoreMonitor(cfg MonitorConfig, series []CyclePoint) (*Monitor, error) {
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(series) == 0 {
+		return m, nil
+	}
+	m.series = append([]CyclePoint(nil), series...)
+	all, err := DetectSchedulingChanges(m.series, m.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore monitor: %w", err)
+	}
+	m.emitted = len(all)
+	return m, nil
+}
+
 // SlidingCycleSeries estimates the cycle length on a trailing window that
 // advances in fixed steps across [t0, t1] — the exact series Fig. 12
 // plots and Monitor consumes. Windows whose estimation fails (e.g. too

@@ -391,6 +391,77 @@ func (e *Engine) Prime(results ...Result) {
 	}
 }
 
+// ApproachState is the durable per-approach engine state: the latest
+// published estimate plus the scheduling-change monitor's series. It is
+// what a serving daemon checkpoints so a restart resumes where the old
+// process stopped.
+type ApproachState struct {
+	Result  Result
+	Monitor []CyclePoint
+}
+
+// EngineState is the exported state of one engine (or the merged state
+// of many shards): the stream clock plus every approach's durable state.
+type EngineState struct {
+	// Now is the stream clock at export time, seconds.
+	Now float64
+	// Approaches holds the durable state of every published approach.
+	Approaches map[mapmatch.Key]ApproachState
+}
+
+// ExportState snapshots the engine's durable state: the stream clock,
+// every published estimate and every monitor series, deep-copied so the
+// caller may serialize it without holding the engine lock.
+func (e *Engine) ExportState() EngineState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := EngineState{Now: e.now, Approaches: make(map[mapmatch.Key]ApproachState, len(e.estimates))}
+	for k, res := range e.estimates {
+		as := ApproachState{Result: res}
+		if mon := e.monitors[k]; mon != nil {
+			as.Monitor = mon.Series()
+		}
+		st.Approaches[k] = as
+	}
+	return st
+}
+
+// RestoreState rehydrates a freshly built engine from a previously
+// exported (possibly persisted) state: estimates are published exactly
+// as Prime would publish them, monitor series are restored without
+// re-emitting already confirmed changes, and the stream clock moves
+// forward to the exported clock so estimate ages stay truthful. Restoring
+// never moves the clock backwards. Entries with a non-nil Err or a
+// non-positive Cycle are skipped, mirroring Prime. It returns the number
+// of approaches restored.
+func (e *Engine) RestoreState(st EngineState) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st.Now > e.now {
+		e.now = st.Now
+	}
+	restored := 0
+	for k, as := range st.Approaches {
+		res := as.Result
+		if res.Err != nil || res.Cycle <= 0 {
+			continue
+		}
+		res.Key = k
+		e.estimates[k] = res
+		e.recordSuccessLocked(k, res.WindowEnd)
+		if len(as.Monitor) > 0 {
+			if mon, err := RestoreMonitor(e.cfg.Monitor, as.Monitor); err == nil {
+				e.monitors[k] = mon
+			}
+		}
+		restored++
+	}
+	if restored > 0 {
+		e.version++
+	}
+	return restored
+}
+
 // StateOf answers the headline real-time question — is this approach red
 // or green at time t? — from the latest estimate. ok is false when the
 // approach has no estimate yet.

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,16 +17,18 @@ import (
 )
 
 // endpointNames pre-registers the latency series for every endpoint.
-var endpointNames = []string{"/v1/state", "/v1/snapshot", "/healthz", "/metrics"}
+var endpointNames = []string{"/v1/state", "/v1/snapshot", "/v1/history", "/healthz", "/metrics"}
 
-// Handler returns the HTTP API: per-approach state with countdown, the
-// cached city snapshot, health and metrics. The handler is independent
-// of the ingest loops — it reads the shard engines directly — so it can
-// be exercised with httptest against a hand-fed server.
+// Handler returns the HTTP API: per-approach state with countdown (live
+// or as-of a past stream time), the cached city snapshot, persisted
+// estimate history, health and metrics. The handler is independent of
+// the ingest loops — it reads the shard engines directly — so it can be
+// exercised with httptest against a hand-fed server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.handleState))
 	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/history/{light}/{approach}", s.instrument("/v1/history", s.handleHistory))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -93,11 +96,18 @@ func parseStateKey(r *http.Request) (mapmatch.Key, error) {
 // handleState answers the paper's headline query for one approach: the
 // current light state and the countdown to the next change, computed
 // from the published estimate at stream time t (the `t` query parameter,
-// defaulting to the owning shard's stream clock).
+// defaulting to the owning shard's stream clock). With `asof=T` the
+// query time-travels: the answer is computed from the estimate that was
+// current at stream time T, read from the durable store's history —
+// "what would the service have said at T?".
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	key, err := parseStateKey(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if q := r.URL.Query().Get("asof"); q != "" {
+		s.handleStateAsOf(w, key, q)
 		return
 	}
 	sh := s.shardFor(key)
@@ -141,6 +151,161 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		resp.NextState = strings.ToLower(next.String())
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStateAsOf answers /v1/state?asof=T from the durable store: the
+// newest persisted estimate with WindowEnd <= T is evaluated at T, so
+// the response is what the service would have answered then — even for
+// estimates long since superseded or for a light whose schedule has
+// changed.
+func (s *Server) handleStateAsOf(w http.ResponseWriter, key mapmatch.Key, q string) {
+	st := s.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "as-of queries need a durable store (run with -store-dir)"})
+		return
+	}
+	t, err := strconv.ParseFloat(q, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad asof %q", q)})
+		return
+	}
+	rec, ok, err := st.AsOf(key, t)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no persisted estimate for light %d approach %s at or before t=%g", key.Light, key.Approach, t)})
+		return
+	}
+	est := core.Estimate{Result: rec.Result(), Age: t - rec.WindowEnd}
+	aj := approachFromEstimate(key, est)
+	aj.Health = "historical"
+	resp := stateJSON{
+		Light:    int64(key.Light),
+		Approach: key.Approach.String(),
+		T:        t,
+		State:    "unknown",
+		Health:   "historical",
+		Estimate: &aj,
+	}
+	if state, until, ok := est.PhaseAt(t); ok {
+		resp.State = strings.ToLower(state.String())
+		resp.CountdownSeconds = &until
+		next := lights.Red
+		if state == lights.Red {
+			next = lights.Green
+		}
+		resp.NextState = strings.ToLower(next.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// historyJSON is the /v1/history body: the persisted estimate series of
+// one approach over [from, to], oldest first.
+type historyJSON struct {
+	Light     int64          `json:"light"`
+	Approach  string         `json:"approach"`
+	From      float64        `json:"from_s"`
+	To        float64        `json:"to_s"`
+	Count     int            `json:"count"`
+	Truncated bool           `json:"truncated,omitempty"`
+	Estimates []historyEntry `json:"estimates"`
+}
+
+// historyEntry is one persisted estimate in the history response.
+type historyEntry struct {
+	Seq         uint64  `json:"seq"`
+	Cycle       float64 `json:"cycle_s"`
+	Red         float64 `json:"red_s"`
+	Green       float64 `json:"green_s"`
+	GreenToRed  float64 `json:"green_to_red_phase_s"`
+	WindowStart float64 `json:"window_start_s"`
+	WindowEnd   float64 `json:"window_end_s"`
+	Quality     float64 `json:"quality"`
+	Records     int32   `json:"records"`
+	Enhanced    bool    `json:"enhanced,omitempty"`
+}
+
+// historyMaxResults bounds one history response; narrower ranges or the
+// limit parameter page through longer series.
+const historyMaxResults = 10000
+
+// handleHistory serves the persisted estimate history of one approach:
+// GET /v1/history/{light}/{approach}?from=&to=&limit=. The series is
+// bounded by the store's retention policy — compacted segments are gone.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "history needs a durable store (run with -store-dir)"})
+		return
+	}
+	key, err := parseStateKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	from, to := 0.0, math.MaxFloat64
+	limit := historyMaxResults
+	q := r.URL.Query()
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseFloat(v, 64); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad from %q", v)})
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = strconv.ParseFloat(v, 64); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad to %q", v)})
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad limit %q", v)})
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	if to < from {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("inverted range [%g, %g]", from, to)})
+		return
+	}
+	recs, err := st.History(key, from, to, limit+1)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	doc := historyJSON{
+		Light:     int64(key.Light),
+		Approach:  key.Approach.String(),
+		From:      from,
+		To:        to,
+		Estimates: []historyEntry{},
+	}
+	if len(recs) > limit {
+		doc.Truncated = true
+		recs = recs[len(recs)-limit:]
+	}
+	for _, rec := range recs {
+		doc.Estimates = append(doc.Estimates, historyEntry{
+			Seq:         rec.Seq,
+			Cycle:       rec.Cycle,
+			Red:         rec.Red,
+			Green:       rec.Green,
+			GreenToRed:  rec.GreenToRedPhase,
+			WindowStart: rec.WindowStart,
+			WindowEnd:   rec.WindowEnd,
+			Quality:     rec.Quality,
+			Records:     rec.Records,
+			Enhanced:    rec.Enhanced,
+		})
+	}
+	doc.Count = len(doc.Estimates)
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleSnapshot serves the cached whole-city snapshot with ETag
@@ -191,11 +356,19 @@ type healthzJSON struct {
 	// ingested a batch; -1 before the first batch.
 	LastIngestAgeSeconds float64 `json:"last_ingest_age_s"`
 	Shards               int     `json:"shards"`
+	// WarmStartApproaches counts estimates restored from the durable
+	// store at startup — non-zero means the daemon answered queries
+	// before its first live trace arrived.
+	WarmStartApproaches int64 `json:"warm_start_approaches"`
 }
 
 // healthReport aggregates every shard's engine health.
 func (s *Server) healthReport() healthzJSON {
-	doc := healthzJSON{Shards: len(s.shards), LastIngestAgeSeconds: -1}
+	doc := healthzJSON{
+		Shards:               len(s.shards),
+		LastIngestAgeSeconds: -1,
+		WarmStartApproaches:  s.met.restoredCount.Load(),
+	}
 	var lastIngest int64
 	for _, sh := range s.shards {
 		rep := sh.engine.Health()
@@ -293,6 +466,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintln(w, "# TYPE lightd_estimate_age_seconds histogram")
 	m.estimateAge.write(w, "lightd_estimate_age_seconds", "")
+
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		fmt.Fprintln(w, "# TYPE lightd_wal_records_total counter")
+		writeSample(w, "lightd_wal_records_total", `outcome="appended"`, float64(m.walAppended.Load()))
+		writeSample(w, "lightd_wal_records_total", `outcome="dropped"`, float64(m.walDropped.Load()))
+		writeSample(w, "lightd_wal_records_total", `outcome="error"`, float64(m.walErrors.Load()))
+		fmt.Fprintln(w, "# TYPE lightd_wal_fsyncs_total counter")
+		writeSample(w, "lightd_wal_fsyncs_total", "", float64(ss.Fsyncs))
+		fmt.Fprintln(w, "# TYPE lightd_wal_segments gauge")
+		writeSample(w, "lightd_wal_segments", "", float64(ss.Segments))
+		fmt.Fprintln(w, "# TYPE lightd_wal_segment_bytes gauge")
+		writeSample(w, "lightd_wal_segment_bytes", "", float64(ss.SegmentBytes))
+		fmt.Fprintln(w, "# TYPE lightd_checkpoints_total counter")
+		writeSample(w, "lightd_checkpoints_total", `outcome="written"`, float64(ss.CheckpointsWritten))
+		writeSample(w, "lightd_checkpoints_total", `outcome="error"`, float64(m.ckptErrors.Load()))
+		fmt.Fprintln(w, "# TYPE lightd_compaction_runs_total counter")
+		writeSample(w, "lightd_compaction_runs_total", "", float64(ss.CompactionRuns))
+		fmt.Fprintln(w, "# TYPE lightd_compacted_total counter")
+		writeSample(w, "lightd_compacted_total", `kind="segment"`, float64(ss.SegmentsCompacted))
+		writeSample(w, "lightd_compacted_total", `kind="checkpoint"`, float64(ss.CheckpointsCompacted))
+		fmt.Fprintln(w, "# TYPE lightd_warm_start_approaches gauge")
+		writeSample(w, "lightd_warm_start_approaches", "", float64(m.restoredCount.Load()))
+		fmt.Fprintln(w, "# TYPE lightd_wal_append_duration_seconds histogram")
+		m.walAppendLat.write(w, "lightd_wal_append_duration_seconds", "")
+		fmt.Fprintln(w, "# TYPE lightd_wal_fsync_duration_seconds histogram")
+		m.walFsyncLat.write(w, "lightd_wal_fsync_duration_seconds", "")
+	}
 
 	fmt.Fprintln(w, "# TYPE lightd_http_request_duration_seconds histogram")
 	m.latMu.Lock()

@@ -101,6 +101,10 @@ var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25
 // default cadence (re-estimate every 300 s, stale after 900 s).
 var ageBuckets = []float64{60, 150, 300, 450, 600, 900, 1800, 3600}
 
+// walBuckets covers WAL append (microseconds: in-memory framing) through
+// fsync (up to hundreds of milliseconds on contended disks).
+var walBuckets = []float64{.00001, .000025, .00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25}
+
 // metrics is the daemon-wide metric set. Per-endpoint and per-class
 // series are pre-registered so every scrape shows the full matrix from
 // the first request on.
@@ -118,6 +122,17 @@ type metrics struct {
 
 	estimateAge *histogram // observed at every snapshot rebuild
 
+	// Durable-store series: queue accounting (appended vs dropped at
+	// the bounded persistence queue), failures, and WAL latency split
+	// into the cheap framed append and the expensive batched fsync.
+	walAppended   counter // records handed to the store
+	walDropped    counter // records dropped because the queue was full
+	walErrors     counter // failed store appends
+	ckptErrors    counter // failed checkpoint writes
+	walAppendLat  *histogram
+	walFsyncLat   *histogram
+	restoredCount counter // approaches warm-started from the store
+
 	latMu     sync.Mutex
 	latencies map[string]*histogram // per-endpoint request duration
 
@@ -130,9 +145,11 @@ type metrics struct {
 
 func newMetrics(endpoints []string) *metrics {
 	m := &metrics{
-		skipByClass: make(map[string]int64),
-		estimateAge: newHistogram(ageBuckets...),
-		latencies:   make(map[string]*histogram, len(endpoints)),
+		skipByClass:  make(map[string]int64),
+		estimateAge:  newHistogram(ageBuckets...),
+		walAppendLat: newHistogram(walBuckets...),
+		walFsyncLat:  newHistogram(walBuckets...),
+		latencies:    make(map[string]*histogram, len(endpoints)),
 	}
 	for _, c := range trace.Classes() {
 		m.skipByClass[c] = 0

@@ -17,6 +17,7 @@ import (
 
 	"taxilight/internal/core"
 	"taxilight/internal/mapmatch"
+	"taxilight/internal/store"
 	"taxilight/internal/trace"
 )
 
@@ -53,6 +54,19 @@ type Config struct {
 	// StaleFeedAfter is how long (wall clock) the feed may be silent
 	// before /healthz degrades; 0 disables the liveness check.
 	StaleFeedAfter time.Duration
+	// Store, when non-nil, receives every published estimate
+	// asynchronously and periodic full checkpoints, and backs the
+	// /v1/history and as-of endpoints. The server drives the store but
+	// does not own it: the caller opens and closes it.
+	Store *store.Store
+	// StoreQueue is the capacity (in record batches) of the bounded
+	// persistence queue between the shard loops and the store writer. A
+	// full queue drops the batch with a counter — persistence must never
+	// stall ingest.
+	StoreQueue int
+	// CheckpointInterval is the wall-clock cadence of full checkpoints;
+	// 0 checkpoints only at shutdown. Ignored without a Store.
+	CheckpointInterval time.Duration
 }
 
 // DefaultConfig is the posture lightd starts with: four shards, the
@@ -60,18 +74,20 @@ type Config struct {
 // ticks and conservative HTTP timeouts.
 func DefaultConfig() Config {
 	return Config{
-		Shards:         4,
-		ShardBuffer:    64,
-		BatchSize:      256,
-		FlushEvery:     200 * time.Millisecond,
-		TickEvery:      time.Second,
-		Lenient:        trace.DefaultLenientConfig(),
-		Realtime:       core.DefaultRealtimeConfig(),
-		ReadTimeout:    5 * time.Second,
-		WriteTimeout:   10 * time.Second,
-		IdleTimeout:    60 * time.Second,
-		ShutdownGrace:  5 * time.Second,
-		StaleFeedAfter: 2 * time.Minute,
+		Shards:             4,
+		ShardBuffer:        64,
+		BatchSize:          256,
+		FlushEvery:         200 * time.Millisecond,
+		TickEvery:          time.Second,
+		Lenient:            trace.DefaultLenientConfig(),
+		Realtime:           core.DefaultRealtimeConfig(),
+		ReadTimeout:        5 * time.Second,
+		WriteTimeout:       10 * time.Second,
+		IdleTimeout:        60 * time.Second,
+		ShutdownGrace:      5 * time.Second,
+		StaleFeedAfter:     2 * time.Minute,
+		StoreQueue:         256,
+		CheckpointInterval: time.Minute,
 	}
 }
 
@@ -88,6 +104,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: non-positive cadence (flush %v, tick %v)", c.FlushEvery, c.TickEvery)
 	case c.ShutdownGrace < 0 || c.StaleFeedAfter < 0:
 		return fmt.Errorf("server: negative timeout (grace %v, stale-feed %v)", c.ShutdownGrace, c.StaleFeedAfter)
+	case c.Store != nil && c.StoreQueue <= 0:
+		return fmt.Errorf("server: non-positive store queue %d", c.StoreQueue)
+	case c.CheckpointInterval < 0:
+		return fmt.Errorf("server: negative checkpoint interval %v", c.CheckpointInterval)
 	}
 	return c.Realtime.Validate()
 }
@@ -106,6 +126,14 @@ type Server struct {
 	sourceWG sync.WaitGroup
 	started  bool
 	stopOnce sync.Once
+
+	// Persistence plumbing (nil/idle without a configured Store): the
+	// shard loops enqueue newly published estimates, one writer drains
+	// the queue into the WAL, and a timer takes full checkpoints.
+	persistCh chan []store.Record
+	persistWG sync.WaitGroup
+	ckptStop  chan struct{}
+	ckptWG    sync.WaitGroup
 }
 
 // New builds a server with cfg.Shards idle engines. matcher attributes
@@ -126,26 +154,125 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, &shard{
-			id:     i,
-			engine: eng,
-			in:     make(chan []mapmatch.Matched, cfg.ShardBuffer),
+			id:            i,
+			engine:        eng,
+			in:            make(chan []mapmatch.Matched, cfg.ShardBuffer),
+			lastPersisted: make(map[mapmatch.Key]float64),
 		})
 	}
 	return s, nil
 }
 
-// Start launches the shard loops. It must be called before Dispatch or
-// RunSource; handlers work without it (they read the engines directly).
+// Start launches the shard loops and, with a configured Store, the
+// persistence writer and checkpoint timer. It must be called before
+// Dispatch or RunSource; handlers work without it (they read the engines
+// directly).
 func (s *Server) Start() {
 	if s.started {
 		return
 	}
 	s.started = true
+	if st := s.cfg.Store; st != nil {
+		st.SetObservers(s.met.walAppendLat.Observe, s.met.walFsyncLat.Observe)
+		s.persistCh = make(chan []store.Record, s.cfg.StoreQueue)
+		s.persistWG.Add(1)
+		go s.persistLoop()
+		s.ckptStop = make(chan struct{})
+		s.ckptWG.Add(1)
+		go s.checkpointLoop()
+	}
 	for _, sh := range s.shards {
 		s.shardWG.Add(1)
 		go sh.loop(s)
 	}
 }
+
+// persistLoop is the single store writer: it drains estimate batches
+// from the bounded queue into the WAL. Append errors are counted, not
+// fatal — a sick disk degrades durability, never serving.
+func (s *Server) persistLoop() {
+	defer s.persistWG.Done()
+	for batch := range s.persistCh {
+		if err := s.cfg.Store.Append(batch...); err != nil {
+			s.met.walErrors.Add(int64(len(batch)))
+		} else {
+			s.met.walAppended.Add(int64(len(batch)))
+		}
+	}
+}
+
+// checkpointLoop takes periodic full checkpoints of the merged shard
+// state so recovery replays only a short WAL tail.
+func (s *Server) checkpointLoop() {
+	defer s.ckptWG.Done()
+	if s.cfg.CheckpointInterval <= 0 {
+		<-s.ckptStop
+		return
+	}
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			s.checkpointNow()
+		}
+	}
+}
+
+// checkpointNow writes one full checkpoint of the merged engine state.
+func (s *Server) checkpointNow() {
+	if err := s.cfg.Store.Checkpoint(s.ExportState()); err != nil {
+		s.met.ckptErrors.Add(1)
+	}
+}
+
+// ExportState merges every shard's durable state into one engine state
+// (keys are disjoint across shards, so merging is a union; the clock is
+// the newest shard clock).
+func (s *Server) ExportState() core.EngineState {
+	merged := core.EngineState{Approaches: map[mapmatch.Key]core.ApproachState{}}
+	for _, sh := range s.shards {
+		st := sh.engine.ExportState()
+		if st.Now > merged.Now {
+			merged.Now = st.Now
+		}
+		for k, as := range st.Approaches {
+			merged.Approaches[k] = as
+		}
+	}
+	return merged
+}
+
+// Restore warm-starts the server from recovered state: each approach is
+// routed to the shard that owns its key and published there exactly as
+// the pre-crash engine had it. Restored estimates are remembered as
+// already persisted so a restart does not re-append them to the WAL.
+// Call before Start. It returns the number of approaches restored.
+func (s *Server) Restore(st core.EngineState) int {
+	perShard := make([]core.EngineState, len(s.shards))
+	for i := range perShard {
+		perShard[i] = core.EngineState{Now: st.Now, Approaches: map[mapmatch.Key]core.ApproachState{}}
+	}
+	for k, as := range st.Approaches {
+		idx := shardIndex(k, len(s.shards))
+		perShard[idx].Approaches[k] = as
+	}
+	total := 0
+	for i, sh := range s.shards {
+		total += sh.engine.RestoreState(perShard[i])
+		for k, as := range perShard[i].Approaches {
+			sh.lastPersisted[k] = as.Result.WindowEnd
+		}
+		sh.lastVersion = sh.engine.Version()
+	}
+	s.met.restoredCount.Add(int64(total))
+	return total
+}
+
+// WarmStarted returns how many approaches were restored from a store.
+func (s *Server) WarmStarted() int64 { return s.met.restoredCount.Load() }
 
 // Dispatch routes matched records to their shards, blocking when a
 // shard's channel is full (backpressure) unless ctx is cancelled, in
@@ -176,7 +303,10 @@ func (s *Server) sendBatch(ctx context.Context, idx int, batch []mapmatch.Matche
 
 // StopIngest closes the shard channels and waits for every shard to
 // drain and run its final Advance — the "drain shards" half of graceful
-// shutdown. All sources must have returned before calling it.
+// shutdown. All sources must have returned before calling it. With a
+// configured store it then drains the persistence queue and writes a
+// final checkpoint, so a cleanly stopped daemon restarts from a
+// checkpoint with an empty replay tail.
 func (s *Server) StopIngest() {
 	s.stopOnce.Do(func() {
 		for _, sh := range s.shards {
@@ -184,6 +314,20 @@ func (s *Server) StopIngest() {
 		}
 	})
 	s.shardWG.Wait()
+	if s.cfg.Store == nil || !s.started {
+		return
+	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		s.ckptWG.Wait()
+		s.ckptStop = nil
+	}
+	if s.persistCh != nil {
+		close(s.persistCh)
+		s.persistWG.Wait()
+		s.persistCh = nil
+	}
+	s.checkpointNow()
 }
 
 // Engines exposes the per-shard engines for priming (warm restart) and
@@ -219,6 +363,12 @@ func (s *Server) Summary() string {
 		doc.Fresh, doc.Stale, doc.Quarantined, doc.Buffered)
 	out += fmt.Sprintf("  engine drops: %d old, %d overflow; %d scheduling changes, %d advance errors",
 		doc.DroppedOld, doc.DroppedOverflow, m.schedChanges.Load(), m.advanceErrors.Load())
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		out += fmt.Sprintf("\n  store: %d records persisted (%d dropped at queue, %d errors), %d segments / %d B, %d checkpoints, %d fsyncs",
+			m.walAppended.Load(), m.walDropped.Load(), m.walErrors.Load(),
+			ss.Segments, ss.SegmentBytes, ss.CheckpointsWritten, ss.Fsyncs)
+	}
 	return out
 }
 

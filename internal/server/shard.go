@@ -8,6 +8,7 @@ import (
 
 	"taxilight/internal/core"
 	"taxilight/internal/mapmatch"
+	"taxilight/internal/store"
 )
 
 // shard owns one core.Engine and the goroutine that feeds it. Ingest is
@@ -28,6 +29,12 @@ type shard struct {
 	// lastIngestWall is the wall-clock time (unix nanos) of the last
 	// batch, 0 before the first — the liveness signal /healthz reports.
 	lastIngestWall atomic.Int64
+	// Persistence diff state, touched only by the shard goroutine (and
+	// by Restore before Start): the engine version already persisted and
+	// each key's newest persisted WindowEnd, so every published estimate
+	// is appended to the WAL exactly once.
+	lastVersion   uint64
+	lastPersisted map[mapmatch.Key]float64
 }
 
 // shardIndex hashes a partition key onto one of n shards (FNV-1a over
@@ -70,13 +77,51 @@ func (sh *shard) loop(s *Server) {
 		case batch, ok := <-sh.in:
 			if !ok {
 				sh.advance(s)
+				sh.persist(s)
 				return
 			}
 			sh.ingest(s, batch)
 			sh.advance(s)
+			sh.persist(s)
 		case <-ticker.C:
 			sh.advance(s)
+			sh.persist(s)
 		}
+	}
+}
+
+// persist enqueues estimates newly published since the last persisted
+// engine version onto the store queue. The send never blocks: a full
+// queue drops the batch with a counter, because durability lag must not
+// stall the ingest path. The version check makes the idle case (ticks
+// between estimation passes) a single atomic load pair.
+func (sh *shard) persist(s *Server) {
+	if s.persistCh == nil {
+		return
+	}
+	v := sh.engine.Version()
+	if v == sh.lastVersion {
+		return
+	}
+	snap, v := sh.engine.SnapshotVersioned()
+	var recs []store.Record
+	for k, est := range snap {
+		if est.WindowEnd <= sh.lastPersisted[k] {
+			continue
+		}
+		if rec, ok := store.FromResult(est.Result); ok {
+			recs = append(recs, rec)
+			sh.lastPersisted[k] = est.WindowEnd
+		}
+	}
+	sh.lastVersion = v
+	if len(recs) == 0 {
+		return
+	}
+	select {
+	case s.persistCh <- recs:
+	default:
+		s.met.walDropped.Add(int64(len(recs)))
 	}
 }
 

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// On-disk layout of one WAL segment:
+//
+//	| magic "TLWAL001" (8 bytes) |
+//	| frame | frame | ... |
+//
+// where each frame is
+//
+//	| u32 payload length | u32 CRC-32C(payload) | payload |
+//
+// (little endian). A crash can only tear the final frame of the final
+// segment; Open frame-walks the tail, truncates at the first bad frame
+// and resumes appending after the last intact record — the classic
+// torn-tail recovery of log-structured stores.
+
+const (
+	segMagic      = "TLWAL001"
+	frameHeader   = 8 // u32 length + u32 crc
+	segSuffix     = ".seg"
+	segPrefix     = "wal-"
+	maxFrameBytes = 1 << 20 // sanity bound: no legitimate frame is near this
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64), the checksum used by most production WALs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is the in-memory catalog entry for one WAL segment file.
+type segment struct {
+	path string
+	base uint64 // seq of the first record written to this segment
+	size int64  // current file size in bytes
+	// Time/seq bounds of the records inside, for query pruning and
+	// retention decisions. Sealed segments are scanned lazily, once;
+	// the active segment's bounds are maintained on every append.
+	minT, maxT float64
+	lastSeq    uint64
+	count      int
+	scanned    bool // bounds above are valid
+	sealed     bool // no further appends
+}
+
+// segmentPath names a segment by the sequence number of its first record.
+func segmentPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix))
+}
+
+// parseSegmentBase extracts the base sequence number from a segment file
+// name; ok is false for files that are not WAL segments.
+func parseSegmentBase(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	var base uint64
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(hex, "%016x", &base); err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// listSegments catalogs the segment files in dir, sorted by base seq.
+func listSegments(dir string) ([]*segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []*segment
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		base, ok := parseSegmentBase(ent.Name())
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, &segment{
+			path: filepath.Join(dir, ent.Name()),
+			base: base,
+			size: info.Size(),
+		})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// appendFrame writes one CRC frame around payload.
+func appendFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return frameHeader + len(payload), nil
+}
+
+// errTorn marks a frame that is incomplete or fails its checksum — the
+// expected state of a tail written during a crash, not data loss.
+var errTorn = errors.New("store: torn frame")
+
+// readFrame reads one frame from r, returning errTorn for a short or
+// corrupt frame (including clean EOF at a frame boundary, signalled as
+// io.EOF instead).
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean boundary
+		}
+		return nil, errTorn
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, errTorn
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, errTorn
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, errTorn
+	}
+	return buf, nil
+}
+
+// walkSegment frame-walks one segment file, calling fn for every intact
+// record in order. It returns the byte offset just past the last intact
+// frame, whether a torn/corrupt frame cut the walk short, and any I/O
+// error. A missing or malformed magic header yields offset 0 and torn.
+func walkSegment(path string, fn func(Record) error) (good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var magic [len(segMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != segMagic {
+		return 0, true, nil
+	}
+	good = int64(len(segMagic))
+	buf := make([]byte, encodedRecordSize)
+	for {
+		payload, ferr := readFrame(br, buf)
+		if ferr == io.EOF {
+			return good, false, nil
+		}
+		if ferr != nil {
+			return good, true, nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// A frame whose CRC matches but whose payload doesn't decode
+			// is treated like a torn tail: stop trusting the file here.
+			return good, true, nil
+		}
+		if err := fn(rec); err != nil {
+			return good, false, err
+		}
+		good += int64(frameHeader + len(payload))
+	}
+}
+
+// scanBounds fills a sealed segment's catalog bounds by walking it once.
+func (sg *segment) scanBounds() error {
+	if sg.scanned {
+		return nil
+	}
+	first := true
+	_, _, err := walkSegment(sg.path, func(rec Record) error {
+		if first {
+			sg.minT, sg.maxT = rec.WindowEnd, rec.WindowEnd
+			first = false
+		} else {
+			if rec.WindowEnd < sg.minT {
+				sg.minT = rec.WindowEnd
+			}
+			if rec.WindowEnd > sg.maxT {
+				sg.maxT = rec.WindowEnd
+			}
+		}
+		sg.lastSeq = rec.Seq
+		sg.count++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sg.scanned = true
+	return nil
+}
+
+// noteAppend maintains the active segment's bounds as records land.
+func (sg *segment) noteAppend(rec Record, frameLen int64) {
+	if sg.count == 0 {
+		sg.minT, sg.maxT = rec.WindowEnd, rec.WindowEnd
+	} else {
+		if rec.WindowEnd < sg.minT {
+			sg.minT = rec.WindowEnd
+		}
+		if rec.WindowEnd > sg.maxT {
+			sg.maxT = rec.WindowEnd
+		}
+	}
+	sg.lastSeq = rec.Seq
+	sg.count++
+	sg.size += frameLen
+	sg.scanned = true
+}
+
+// overlaps reports whether the segment may contain records with
+// WindowEnd in [from, to]. Unscanned segments conservatively overlap.
+func (sg *segment) overlaps(from, to float64) bool {
+	if !sg.scanned {
+		return true
+	}
+	return sg.count > 0 && sg.maxT >= from && sg.minT <= to
+}
