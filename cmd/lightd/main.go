@@ -18,6 +18,13 @@
 //	tracegen -stream -speedup 60 | lightd -in - -rows 4 -cols 4 -seed 1
 //	lightd -in trace.csv.gz -network net.txt -listen :8080
 //	lightd -in tcp://:7001              # accept push feeds
+//	lightd -in "east=tcp+dial://feed-e:7001,west=tcp+dial://feed-w:7001"
+//
+// Every source runs supervised: dial-out sources reconnect with
+// exponential backoff and dedup the replay (no double-ingest), listen
+// sources survive transient Accept errors, and a per-source circuit
+// breaker cools down dead upstreams. /healthz and /metrics show each
+// source's state machine.
 package main
 
 import (
@@ -38,7 +45,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
-	in := flag.String("in", "-", `trace source: "-" (stdin), "tcp://addr" (listen for push feeds), or a file path (.gz-aware)`)
+	in := flag.String("in", "-", `comma-separated trace sources, each optionally "name=" prefixed: "-" (stdin), "tcp://addr" (listen for push feeds), "tcp+dial://addr" (dial out, reconnect + dedup), or a file path (.gz-aware)`)
 	rows := flag.Int("rows", 4, "grid rows of the generating network")
 	cols := flag.Int("cols", 4, "grid columns of the generating network")
 	seed := flag.Int64("seed", 1, "seed of the generating network")
@@ -53,6 +60,12 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 	grace := flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown budget for in-flight requests")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "ingest drain budget at shutdown before giving up (0 = wait forever)")
+	maxInflight := flag.Int("max-inflight", server.DefaultConfig().MaxInFlight, "max concurrently served HTTP requests before shedding 429s; 0 disables the limiter")
+	debugEndpoints := flag.Bool("debug-endpoints", false, "register /debug/* drill handlers (panic, block)")
+	reconnectMin := flag.Duration("reconnect-min", 0, "initial dial-source reconnect backoff (0 = default)")
+	reconnectMax := flag.Duration("reconnect-max", 0, "reconnect backoff cap (0 = default)")
+	failureBudget := flag.Int("failure-budget", -1, "consecutive source failures before the circuit breaker opens; 0 disables, -1 = default")
+	circuitCooldown := flag.Duration("circuit-cooldown", 0, "open-circuit rest before retrying a source (0 = default)")
 	storeDir := flag.String("store-dir", "", "durable estimate store directory; empty disables persistence")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to checkpoint engine state into the store")
 	retention := flag.Duration("retention", 0, "drop WAL segments older than this stream age (0 keeps all ages)")
@@ -90,6 +103,23 @@ func main() {
 	cfg.WriteTimeout = *writeTimeout
 	cfg.ShutdownGrace = *grace
 	cfg.CheckpointInterval = *ckptEvery
+	if *maxInflight < 0 {
+		fatal(fmt.Errorf("-max-inflight must be >= 0, got %d", *maxInflight))
+	}
+	cfg.MaxInFlight = *maxInflight
+	cfg.DebugEndpoints = *debugEndpoints
+	if *reconnectMin > 0 {
+		cfg.Ingest.BackoffMin = *reconnectMin
+	}
+	if *reconnectMax > 0 {
+		cfg.Ingest.BackoffMax = *reconnectMax
+	}
+	if *failureBudget >= 0 {
+		cfg.Ingest.FailureBudget = *failureBudget
+	}
+	if *circuitCooldown > 0 {
+		cfg.Ingest.CircuitCooldown = *circuitCooldown
+	}
 
 	// The durable store opens before the server so recovery (checkpoint
 	// load, WAL tail replay, torn-tail truncation) happens while nothing
@@ -139,7 +169,7 @@ func main() {
 		cfg.Shards, net.NumNodes(), net.NumSegments(), *listen, *in)
 
 	srcDone := make(chan error, 1)
-	go func() { srcDone <- srv.RunSource(ctx, *in) }()
+	go func() { srcDone <- srv.RunSources(ctx, *in) }()
 	go func() {
 		// A finished replay (nil) leaves the daemon serving its last
 		// estimates; a failed source (budget blown, unreadable file) is

@@ -14,6 +14,14 @@
 //
 //	tracegen -stream -speedup 60 | lightd -in -
 //
+// With -chaos-proxy the same paced stream is served over TCP behind a
+// faults.FlakyProxy (resets, mid-line cuts, stalls, slow-loris trickle,
+// forced disconnects), so a dial-out lightd can be drilled against a
+// hostile network path:
+//
+//	tracegen -chaos-proxy 127.0.0.1:7001 -chaos-conn-bytes 65536 &
+//	lightd -in tcp+dial://127.0.0.1:7001
+//
 // Usage:
 //
 //	tracegen -taxis 300 -hours 1 -rows 4 -cols 4 -o trace.csv -truth truth.csv
@@ -27,7 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"taxilight/internal/experiments"
@@ -63,9 +74,13 @@ func main() {
 	burstDrop := flag.Float64("fault-burstdrop", 0, "per-record drop-burst-start probability")
 	burstLen := flag.Int("fault-burst-len", 10, "max reports lost in one drop burst")
 	stream := flag.Bool("stream", false, "emit records to stdout paced by record timestamp instead of writing -o")
-	speedup := flag.Float64("speedup", 60, "with -stream, time compression factor (1 = real time)")
+	speedup := flag.Float64("speedup", 60, "with -stream or -chaos-proxy, time compression factor (1 = real time)")
+	chaosProxy := flag.String("chaos-proxy", "", "serve the paced stream on this TCP address through a faults.FlakyProxy (resets, cuts, stalls, trickle); every connection replays from the start")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos-proxy fault schedule seed")
+	chaosConnBytes := flag.Int64("chaos-conn-bytes", 0, "force-disconnect each chaos-proxy connection after roughly this many bytes (0 = never)")
+	chaosGrowth := flag.Float64("chaos-growth", 2, "per-connection growth of the chaos-proxy byte budget (>= 1)")
 	flag.Parse()
-	if *stream && *speedup <= 0 {
+	if (*stream || *chaosProxy != "") && *speedup <= 0 {
 		fatal(fmt.Errorf("-speedup must be positive, got %v", *speedup))
 	}
 
@@ -141,6 +156,26 @@ func main() {
 		fmt.Fprintf(status, "wrote ground truth to %s\n", *truthOut)
 	}
 
+	if *chaosProxy != "" {
+		// Record-level faults apply once; line corruption is re-rolled
+		// per connection (same seed) inside the feeder.
+		recs := world.Records
+		if active {
+			p, err := faults.New(fcfg)
+			if err != nil {
+				fatal(err)
+			}
+			recs = p.Apply(recs)
+		}
+		pcfg := faults.DefaultFlakyProxyConfig("")
+		pcfg.Seed = *chaosSeed
+		pcfg.MaxConnBytes = *chaosConnBytes
+		pcfg.ConnBytesGrowth = *chaosGrowth
+		if err := serveChaosProxy(*chaosProxy, recs, fcfg, active, *speedup, pcfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *stream {
 		// Record-level faults apply before pacing; line-level corruption
 		// applies at emission, like the file writer.
@@ -215,6 +250,65 @@ func streamRecords(w io.Writer, recs []trace.Record, p *faults.Pipeline, speedup
 		}
 	}
 	return bw.Flush()
+}
+
+// serveChaosProxy serves the paced record stream on addr through a
+// FlakyProxy — a one-command hostile feed for reconnection drills:
+//
+//	tracegen -chaos-proxy 127.0.0.1:7001 -chaos-conn-bytes 65536 &
+//	lightd -in tcp+dial://127.0.0.1:7001
+//
+// An internal feeder listens on a loopback port and replays the whole
+// stream (from the start) to every connection; the proxy in front
+// injects resets, mid-line cuts, stalls, trickle and forced
+// disconnects. The replay-from-start feeder is deliberate: it is
+// exactly the upstream behaviour lightd's resume dedup exists for.
+func serveChaosProxy(addr string, recs []trace.Record, fcfg faults.Config, corrupt bool, speedup float64, pcfg faults.FlakyProxyConfig) error {
+	feeder, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer feeder.Close()
+	go func() {
+		for {
+			conn, err := feeder.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var p *faults.Pipeline
+				if corrupt {
+					// A fresh pipeline per connection keeps line
+					// corruption identical across replays.
+					cp, perr := faults.New(fcfg)
+					if perr != nil {
+						return
+					}
+					p = cp
+				}
+				_ = streamRecords(c, recs, p, speedup)
+			}(conn)
+		}
+	}()
+	pcfg.Target = feeder.Addr().String()
+	proxy, err := faults.NewFlakyProxy(pcfg)
+	if err != nil {
+		return err
+	}
+	if err := proxy.Start(addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: chaos proxy on %s (%d records behind it); connect with: lightd -in tcp+dial://%s\n",
+		proxy.Addr(), len(recs), proxy.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	err = proxy.Close()
+	st := proxy.Stats()
+	fmt.Fprintf(os.Stderr, "tracegen: chaos proxy served %d conns, %d B; %d resets, %d cuts, %d forced disconnects, %d stalls, %d trickles\n",
+		st.Conns, st.BytesRelayed, st.Resets, st.Cuts, st.ForcedDisconnects, st.Stalls, st.Trickles)
+	return err
 }
 
 func fatal(err error) {

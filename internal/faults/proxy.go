@@ -1,0 +1,349 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlakyProxyConfig tunes the network chaos proxy. Probabilities are
+// evaluated once per relayed chunk, so the effective fault rate scales
+// with throughput the way real path flakiness does.
+type FlakyProxyConfig struct {
+	// Seed makes every connection's fault schedule reproducible: the
+	// per-connection RNG is seeded with Seed + the connection index.
+	Seed int64
+	// Target is the upstream address the proxy relays to.
+	Target string
+	// ChunkBytes is the relay read size — the granularity at which
+	// faults are injected.
+	ChunkBytes int
+	// ResetProb aborts the connection with an RST-style hard reset.
+	ResetProb float64
+	// CutProb forwards only a prefix of the chunk (a mid-line partial
+	// write) and then closes — the classic torn last line.
+	CutProb float64
+	// StallProb freezes the relay for a random pause up to StallMax.
+	StallProb float64
+	StallMax  time.Duration
+	// TrickleProb switches the chunk's first TrickleBytes bytes to
+	// byte-at-a-time delivery with TrickleDelay between writes — the
+	// slow-loris read path.
+	TrickleProb  float64
+	TrickleBytes int
+	TrickleDelay time.Duration
+	// MaxConnBytes, when > 0, force-disconnects a connection after a
+	// byte budget drawn from [MaxConnBytes/2, MaxConnBytes]. Combined
+	// with ConnBytesGrowth it guarantees repeated disconnects while an
+	// upstream that replays from the start can still finish.
+	MaxConnBytes int64
+	// ConnBytesGrowth multiplies the budget per connection index
+	// (1 = fixed). Values > 1 model an escalating-patience client: each
+	// retry survives longer, so a replay-from-start upstream makes
+	// strictly growing progress through repeated cuts.
+	ConnBytesGrowth float64
+}
+
+// DefaultFlakyProxyConfig is a hostile but survivable network path to
+// target: sub-percent resets and cuts, occasional stalls and trickle.
+func DefaultFlakyProxyConfig(target string) FlakyProxyConfig {
+	return FlakyProxyConfig{
+		Seed:            1,
+		Target:          target,
+		ChunkBytes:      1024,
+		ResetProb:       0.002,
+		CutProb:         0.002,
+		StallProb:       0.01,
+		StallMax:        200 * time.Millisecond,
+		TrickleProb:     0.005,
+		TrickleBytes:    64,
+		TrickleDelay:    time.Millisecond,
+		ConnBytesGrowth: 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c FlakyProxyConfig) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"reset", c.ResetProb}, {"cut", c.CutProb},
+		{"stall", c.StallProb}, {"trickle", c.TrickleProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s probability %g outside [0, 1]", p.name, p.v)
+		}
+	}
+	switch {
+	case c.Target == "":
+		return fmt.Errorf("faults: proxy needs a target address")
+	case c.ChunkBytes <= 0:
+		return fmt.Errorf("faults: non-positive chunk size %d", c.ChunkBytes)
+	case c.StallProb > 0 && c.StallMax <= 0:
+		return fmt.Errorf("faults: stall probability %g needs a positive StallMax", c.StallProb)
+	case c.TrickleProb > 0 && (c.TrickleBytes <= 0 || c.TrickleDelay <= 0):
+		return fmt.Errorf("faults: trickle needs positive TrickleBytes and TrickleDelay")
+	case c.MaxConnBytes < 0:
+		return fmt.Errorf("faults: negative connection byte budget %d", c.MaxConnBytes)
+	case c.ConnBytesGrowth < 1:
+		return fmt.Errorf("faults: connection budget growth %g < 1", c.ConnBytesGrowth)
+	}
+	return nil
+}
+
+// ProxyStats counts what the proxy did to its victims.
+type ProxyStats struct {
+	// Conns counts accepted downstream connections; ActiveConns is the
+	// live count.
+	Conns       int64
+	ActiveConns int64
+	// Resets/Cuts/ForcedDisconnects count connections the proxy ended
+	// violently; Stalls and Trickles count survivable slowdowns.
+	Resets            int64
+	Cuts              int64
+	ForcedDisconnects int64
+	Stalls            int64
+	Trickles          int64
+	// DialErrors counts upstream dials that failed.
+	DialErrors int64
+	// BytesRelayed is the total payload delivered downstream.
+	BytesRelayed int64
+}
+
+// Disconnects is the number of connections the proxy ended by injected
+// fault (reset, cut or exhausted byte budget).
+func (s ProxyStats) Disconnects() int64 {
+	return s.Resets + s.Cuts + s.ForcedDisconnects
+}
+
+// FlakyProxy is a chaos TCP proxy: it relays every accepted connection
+// to the configured upstream while injecting connection resets,
+// mid-line cuts, stalls, partial writes and slow-loris trickle — the
+// network a crowdsourced feed actually crosses. Faults are seeded, so a
+// failing soak run replays.
+type FlakyProxy struct {
+	cfg FlakyProxyConfig
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	closed  atomic.Bool
+	connSeq atomic.Int64
+
+	conns    atomic.Int64
+	active   atomic.Int64
+	resets   atomic.Int64
+	cuts     atomic.Int64
+	forced   atomic.Int64
+	stalls   atomic.Int64
+	trickles atomic.Int64
+	dialErrs atomic.Int64
+	bytes    atomic.Int64
+}
+
+// NewFlakyProxy validates cfg and returns an unstarted proxy.
+func NewFlakyProxy(cfg FlakyProxyConfig) (*FlakyProxy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FlakyProxy{cfg: cfg}, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and begins relaying.
+func (p *FlakyProxy) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return nil
+}
+
+// Addr returns the proxy's bound listen address.
+func (p *FlakyProxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close stops accepting, tears down the listener and waits for every
+// relay goroutine to end.
+func (p *FlakyProxy) Close() error {
+	p.closed.Store(true)
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Stats returns a point-in-time copy of the damage counters.
+func (p *FlakyProxy) Stats() ProxyStats {
+	return ProxyStats{
+		Conns:             p.conns.Load(),
+		ActiveConns:       p.active.Load(),
+		Resets:            p.resets.Load(),
+		Cuts:              p.cuts.Load(),
+		ForcedDisconnects: p.forced.Load(),
+		Stalls:            p.stalls.Load(),
+		Trickles:          p.trickles.Load(),
+		DialErrors:        p.dialErrs.Load(),
+		BytesRelayed:      p.bytes.Load(),
+	}
+}
+
+func (p *FlakyProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		seq := p.connSeq.Add(1) - 1
+		p.conns.Add(1)
+		p.active.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.active.Add(-1)
+			p.relay(conn, seq)
+		}()
+	}
+}
+
+// budgetFor draws connection seq's forced-disconnect byte budget.
+func (p *FlakyProxy) budgetFor(seq int64, rng *rand.Rand) int64 {
+	if p.cfg.MaxConnBytes <= 0 {
+		return 0
+	}
+	max := float64(p.cfg.MaxConnBytes)
+	for i := int64(0); i < seq; i++ {
+		max *= p.cfg.ConnBytesGrowth
+	}
+	b := int64(max/2) + rng.Int63n(int64(max/2)+1)
+	if b <= 0 {
+		b = 1
+	}
+	return b
+}
+
+// relay pumps upstream bytes downstream chunk by chunk, rolling the
+// fault dice on each chunk. The downstream→upstream direction is
+// relayed faithfully (taxi feeds are one-way, but the pipe must not
+// wedge a protocol that talks back).
+func (p *FlakyProxy) relay(down net.Conn, seq int64) {
+	defer down.Close()
+	rng := rand.New(rand.NewSource(p.cfg.Seed + seq))
+	up, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		p.dialErrs.Add(1)
+		return
+	}
+	defer up.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := down.Read(buf)
+			if n > 0 {
+				if _, werr := up.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	budget := p.budgetFor(seq, rng)
+	sent := int64(0)
+	buf := make([]byte, p.cfg.ChunkBytes)
+	for {
+		n, err := up.Read(buf)
+		if n > 0 {
+			roll := rng.Float64()
+			switch {
+			case roll < p.cfg.ResetProb:
+				p.resets.Add(1)
+				hardReset(down)
+				return
+			case roll < p.cfg.ResetProb+p.cfg.CutProb:
+				// Forward a prefix so the last line lands torn, then
+				// close: downstream sees a mid-line EOF.
+				cut := 1 + rng.Intn(n)
+				if wn, _ := down.Write(buf[:cut]); wn > 0 {
+					p.bytes.Add(int64(wn))
+				}
+				p.cuts.Add(1)
+				return
+			}
+			if rng.Float64() < p.cfg.StallProb {
+				p.stalls.Add(1)
+				time.Sleep(time.Duration(rng.Float64() * float64(p.cfg.StallMax)))
+			}
+			wrote, ok := p.writeChunk(down, buf[:n], rng)
+			sent += int64(wrote)
+			if !ok {
+				return
+			}
+			if budget > 0 && sent >= budget {
+				p.forced.Add(1)
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// writeChunk delivers one chunk downstream, possibly trickling its head
+// byte by byte. It returns the bytes written and whether the connection
+// is still usable.
+func (p *FlakyProxy) writeChunk(down net.Conn, chunk []byte, rng *rand.Rand) (int, bool) {
+	wrote := 0
+	if rng.Float64() < p.cfg.TrickleProb {
+		p.trickles.Add(1)
+		head := p.cfg.TrickleBytes
+		if head > len(chunk) {
+			head = len(chunk)
+		}
+		for i := 0; i < head; i++ {
+			if _, err := down.Write(chunk[i : i+1]); err != nil {
+				p.bytes.Add(int64(wrote))
+				return wrote, false
+			}
+			wrote++
+			time.Sleep(p.cfg.TrickleDelay)
+		}
+		chunk = chunk[head:]
+	}
+	if len(chunk) > 0 {
+		n, err := down.Write(chunk)
+		wrote += n
+		if err != nil {
+			p.bytes.Add(int64(wrote))
+			return wrote, false
+		}
+	}
+	p.bytes.Add(int64(wrote))
+	return wrote, true
+}
+
+// hardReset makes Close send an RST instead of a FIN, so downstream
+// sees "connection reset by peer" mid-read — the abrupt death a
+// vanishing cell uplink produces.
+func hardReset(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// payloadServer serves the same payload to every accepted connection
+// and then closes it, like a replay-from-start feeder.
+func payloadServer(t *testing.T, payload []byte) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+func testPayload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte('a' + i%26)
+	}
+	return out
+}
+
+// TestFlakyProxyCleanRelay checks a proxy with every fault disabled is
+// a faithful byte pipe.
+func TestFlakyProxyCleanRelay(t *testing.T) {
+	payload := testPayload(64 * 1024)
+	up := payloadServer(t, payload)
+	defer up.Close()
+
+	cfg := DefaultFlakyProxyConfig(up.Addr().String())
+	cfg.ResetProb, cfg.CutProb, cfg.StallProb, cfg.TrickleProb = 0, 0, 0, 0
+	p, err := NewFlakyProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("relayed %d bytes, want %d identical bytes", len(got), len(payload))
+	}
+	st := p.Stats()
+	if st.Disconnects() != 0 || st.BytesRelayed != int64(len(payload)) || st.Conns != 1 {
+		t.Fatalf("stats %+v, want clean single-connection relay", st)
+	}
+}
+
+// TestFlakyProxyForcedDisconnects checks the growing byte budget: early
+// connections are cut short, and the budget doubles until a connection
+// survives long enough to deliver the full payload.
+func TestFlakyProxyForcedDisconnects(t *testing.T) {
+	payload := testPayload(32 * 1024)
+	up := payloadServer(t, payload)
+	defer up.Close()
+
+	cfg := DefaultFlakyProxyConfig(up.Addr().String())
+	cfg.ResetProb, cfg.CutProb, cfg.StallProb, cfg.TrickleProb = 0, 0, 0, 0
+	cfg.ChunkBytes = 512
+	cfg.MaxConnBytes = 2048
+	cfg.ConnBytesGrowth = 2
+	p, err := NewFlakyProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	complete := false
+	var perConn []int
+	for i := 0; i < 12 && !complete; i++ {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(conn)
+		conn.Close()
+		perConn = append(perConn, len(got))
+		if bytes.Equal(got, payload) {
+			complete = true
+		} else if !bytes.Equal(got, payload[:len(got)]) {
+			t.Fatalf("conn %d: relayed bytes are not a payload prefix", i)
+		}
+	}
+	if !complete {
+		t.Fatalf("no connection delivered the full payload; per-conn bytes %v", perConn)
+	}
+	st := p.Stats()
+	if st.ForcedDisconnects < 3 {
+		t.Fatalf("ForcedDisconnects = %d (per-conn bytes %v), want >= 3", st.ForcedDisconnects, perConn)
+	}
+	// The budget must grow: the surviving connection saw more bytes than
+	// the first casualty.
+	if perConn[len(perConn)-1] <= perConn[0] {
+		t.Fatalf("budget did not grow: %v", perConn)
+	}
+}
+
+// TestFlakyProxyCutsTearLines checks CutProb connections end with a
+// partial chunk rather than a clean close.
+func TestFlakyProxyCutsTearLines(t *testing.T) {
+	payload := testPayload(256 * 1024)
+	up := payloadServer(t, payload)
+	defer up.Close()
+
+	cfg := DefaultFlakyProxyConfig(up.Addr().String())
+	cfg.ResetProb, cfg.StallProb, cfg.TrickleProb = 0, 0, 0
+	cfg.CutProb = 0.05
+	cfg.ChunkBytes = 512
+	cfg.Seed = 7
+	p, err := NewFlakyProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sawCut := false
+	for i := 0; i < 20 && !sawCut; i++ {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(conn)
+		conn.Close()
+		if len(got) < len(payload) {
+			if !bytes.Equal(got, payload[:len(got)]) {
+				t.Fatal("cut connection delivered non-prefix bytes")
+			}
+			sawCut = true
+		}
+	}
+	if !sawCut || p.Stats().Cuts == 0 {
+		t.Fatalf("no cut observed in 20 connections (stats %+v)", p.Stats())
+	}
+}
+
+func TestFlakyProxyConfigValidate(t *testing.T) {
+	if err := DefaultFlakyProxyConfig("h:1").Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*FlakyProxyConfig){
+		func(c *FlakyProxyConfig) { c.Target = "" },
+		func(c *FlakyProxyConfig) { c.ChunkBytes = 0 },
+		func(c *FlakyProxyConfig) { c.ResetProb = 1.5 },
+		func(c *FlakyProxyConfig) { c.StallProb = 0.1; c.StallMax = 0 },
+		func(c *FlakyProxyConfig) { c.TrickleProb = 0.1; c.TrickleBytes = 0 },
+		func(c *FlakyProxyConfig) { c.MaxConnBytes = -1 },
+		func(c *FlakyProxyConfig) { c.ConnBytesGrowth = 0.5 },
+	}
+	for i, mutate := range bad {
+		c := DefaultFlakyProxyConfig("h:1")
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+}
+
+// TestFlakyProxyClose checks Close ends the accept loop and any live
+// relays promptly.
+func TestFlakyProxyClose(t *testing.T) {
+	payload := testPayload(1024)
+	up := payloadServer(t, payload)
+	defer up.Close()
+	cfg := DefaultFlakyProxyConfig(up.Addr().String())
+	p, err := NewFlakyProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if _, err := net.Dial("tcp", p.Addr()); err == nil {
+		t.Fatal("proxy still accepting after Close")
+	}
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"taxilight/internal/experiments"
+	"taxilight/internal/faults"
+	"taxilight/internal/trace"
+)
+
+// chaosWorld builds the city whose trace the chaos soak replays. The
+// body colour is blanked so every CSV line ends with its trailing comma:
+// any mid-line truncation the proxy produces then loses a field and is
+// skipped by the lenient scanner — a torn line can never parse as a
+// valid record that differs from the original.
+func chaosWorld(t testing.TB) (*experiments.World, []trace.Record) {
+	t.Helper()
+	cfg := experiments.DefaultWorldConfig()
+	cfg.Rows, cfg.Cols = 3, 3
+	cfg.Taxis = 120
+	cfg.Horizon = 1800
+	if os.Getenv("TAXILIGHT_CHAOS_SOAK") != "" {
+		cfg.Taxis = 200
+		cfg.Horizon = 10800
+	}
+	w, err := experiments.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, len(w.Records))
+	copy(recs, w.Records)
+	for i := range recs {
+		recs[i].Color = ""
+	}
+	return w, recs
+}
+
+// replayFeeder serves the full payload to every accepted connection and
+// closes it — the replay-from-start upstream the resume-dedup gate is
+// built for.
+func replayFeeder(t testing.TB, payload []byte) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// chaosServerConfig is the shared posture of the chaos and clean runs.
+// BatchSize 1 makes the per-shard engine call sequence a pure function
+// of the admitted record order, so exactly-once in-order admission
+// implies bitwise-equal estimates.
+func chaosServerConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.BatchSize = 1
+	cfg.FlushEvery = 50 * time.Millisecond
+	cfg.Ingest.BackoffMin = time.Millisecond
+	cfg.Ingest.BackoffMax = 10 * time.Millisecond
+	cfg.Ingest.FailureBudget = 0 // a soak must outlast any streak
+	cfg.Ingest.Seed = 1
+	return cfg
+}
+
+// TestChaosProxyE2E is the soak the issue demands: lightd dials a feed
+// through a hostile proxy that resets, cuts lines mid-byte, stalls,
+// trickles and force-disconnects with a growing byte budget. The run
+// must survive at least five disconnects, admit every record exactly
+// once (dedup counters prove the replays were dropped), keep /healthz
+// serving, and converge on estimates identical to a clean run of the
+// same trace.
+func TestChaosProxyE2E(t *testing.T) {
+	w, recs := chaosWorld(t)
+	var sb strings.Builder
+	for _, r := range recs {
+		sb.WriteString(r.MarshalCSV())
+		sb.WriteByte('\n')
+	}
+	payload := []byte(sb.String())
+	feeder := replayFeeder(t, payload)
+	defer feeder.Close()
+
+	pcfg := faults.FlakyProxyConfig{
+		Seed:            1,
+		Target:          feeder.Addr().String(),
+		ChunkBytes:      1024,
+		ResetProb:       0.001,
+		CutProb:         0.001,
+		StallProb:       0.002,
+		StallMax:        20 * time.Millisecond,
+		TrickleProb:     0.002,
+		TrickleBytes:    32,
+		TrickleDelay:    100 * time.Microsecond,
+		MaxConnBytes:    int64(len(payload) / 32),
+		ConnBytesGrowth: 2,
+	}
+	proxy, err := faults.NewFlakyProxy(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	chaos := ingestRun(t, w, "chaos=tcp+dial://"+proxy.Addr(), len(recs))
+	pst := proxy.Stats()
+	if pst.Disconnects() < 5 {
+		t.Fatalf("proxy disconnects = %d (%+v), want >= 5", pst.Disconnects(), pst)
+	}
+	cst := chaos.supervisor().Snapshot()[0]
+	if cst.Reconnects < 5 {
+		t.Fatalf("source reconnects = %d, want >= 5", cst.Reconnects)
+	}
+	if cst.Resumes < 5 || cst.DedupDropped == 0 {
+		t.Fatalf("resumes=%d dedupDropped=%d: the replays were not deduplicated", cst.Resumes, cst.DedupDropped)
+	}
+	if cst.Records != int64(len(recs)) {
+		t.Fatalf("admitted %d records, want exactly %d", cst.Records, len(recs))
+	}
+	if got := chaos.met.ingestDropped.Load(); got != 0 {
+		t.Fatalf("%d records dropped at dispatch", got)
+	}
+	if rec := get(t, chaos, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("post-soak /healthz = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// The control: the same trace through a clean connection.
+	clean := ingestRun(t, w, "clean=tcp+dial://"+feeder.Addr().String(), len(recs))
+	for i := range chaos.shards {
+		cm := chaos.shards[i].engine.Snapshot()
+		km := clean.shards[i].engine.Snapshot()
+		if len(cm) != len(km) {
+			t.Fatalf("shard %d: %d approaches under chaos, %d clean", i, len(cm), len(km))
+		}
+		for k, ce := range cm {
+			ke, ok := km[k]
+			if !ok {
+				t.Fatalf("shard %d: approach %v only exists under chaos", i, k)
+			}
+			if !reflect.DeepEqual(ce, ke) {
+				t.Fatalf("shard %d approach %v diverged:\nchaos: %+v\nclean: %+v", i, k, ce, ke)
+			}
+		}
+	}
+	if chaos.met.ingestMatched.Load() != clean.met.ingestMatched.Load() {
+		t.Fatalf("matched %d under chaos, %d clean",
+			chaos.met.ingestMatched.Load(), clean.met.ingestMatched.Load())
+	}
+}
+
+// ingestRun starts a fresh server on the world's matcher, supervises
+// the given dial source until want records are admitted (exactly — one
+// extra admission is an immediate failure), then drains and returns the
+// server for inspection.
+func ingestRun(t *testing.T, w *experiments.World, spec string, want int) *Server {
+	t.Helper()
+	s, err := New(w.Matcher, chaosServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.RunSources(ctx, spec) }()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		sup := s.supervisor()
+		if sup != nil {
+			got := sup.Snapshot()[0].Records
+			if got == int64(want) {
+				break
+			}
+			if got > int64(want) {
+				cancel()
+				t.Fatalf("%s: admitted %d records, want %d — double ingest", spec, got, want)
+			}
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			st := "no supervisor"
+			if sup := s.supervisor(); sup != nil {
+				st = sup.Snapshot()[0].State
+			}
+			t.Fatalf("%s: soak did not converge (state %s)", spec, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The tail records may still be in flight between Admit and the
+	// shard channels; further connections are pure deduplicated replays
+	// and dispatch nothing.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("%s: RunSources: %v", spec, err)
+	}
+	s.StopIngest()
+	return s
+}

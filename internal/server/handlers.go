@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"taxilight/internal/core"
+	"taxilight/internal/ingest"
 	"taxilight/internal/lights"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/roadnet"
@@ -24,13 +25,25 @@ var endpointNames = []string{"/v1/state", "/v1/snapshot", "/v1/history", "/healt
 // estimate history, health and metrics. The handler is independent of
 // the ingest loops — it reads the shard engines directly — so it can be
 // exercised with httptest against a hand-fed server.
+//
+// Every endpoint runs behind the overload guard: panics become a 500
+// and a counter instead of a dead daemon, and when MaxInFlight is set,
+// excess querier load is shed with 429 + Retry-After. /healthz and
+// /metrics bypass the limiter (never the panic recovery) — a shedding
+// daemon must still be observable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.handleState))
-	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
-	mux.HandleFunc("GET /v1/history/{light}/{approach}", s.instrument("/v1/history", s.handleHistory))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.guard(false, s.handleState)))
+	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.guard(false, s.handleSnapshot)))
+	mux.HandleFunc("GET /v1/history/{light}/{approach}", s.instrument("/v1/history", s.guard(false, s.handleHistory)))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.guard(true, s.handleHealthz)))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.guard(true, s.handleMetrics)))
+	if s.cfg.DebugEndpoints {
+		mux.HandleFunc("GET /debug/panic", s.guard(false, func(w http.ResponseWriter, r *http.Request) {
+			panic("injected by /debug/panic")
+		}))
+		mux.HandleFunc("GET /debug/block", s.guard(false, s.handleDebugBlock))
+	}
 	return mux
 }
 
@@ -40,6 +53,88 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		h(w, r)
 		s.met.observeLatency(endpoint, time.Since(start).Seconds())
+	}
+}
+
+// trackingWriter remembers whether the handler already wrote, so panic
+// recovery knows if a clean 500 body is still possible.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// guard is the overload middleware. Shedding sheds *queriers*: health
+// and metrics are exempt so operators and load balancers can see the
+// daemon saying "busy" rather than timing out on it. Panic recovery is
+// universal — one poisoned request must cost one 500, not the process.
+func (s *Server) guard(exempt bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !exempt && s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.met.httpShed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "overloaded, retry later"})
+				return
+			}
+		}
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.httpPanics.Add(1)
+				if !tw.wrote {
+					writeJSON(tw, http.StatusInternalServerError,
+						errorJSON{Error: fmt.Sprintf("handler panic: %v", rec)})
+				}
+			}
+		}()
+		h(tw, r)
+	}
+}
+
+// handleDebugBlock holds the request in-flight for ?ms= milliseconds
+// (default 1000, capped at 30 s) — the saturation drill behind the
+// overload tests.
+func (s *Server) handleDebugBlock(w http.ResponseWriter, r *http.Request) {
+	d := time.Second
+	if q := r.URL.Query().Get("ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad ms %q", q)})
+			return
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if max := 30 * time.Second; d > max {
+		d = max
+	}
+	time.Sleep(d)
+	writeJSON(w, http.StatusOK, map[string]float64{"blocked_s": d.Seconds()})
+}
+
+// healthHeader is the degraded-mode response header: clients see
+// whether an answer came from a fresh estimate without parsing the
+// body.
+const healthHeader = "X-Taxilight-Health"
+
+// setHealthHeader marks non-fresh answers ("stale", "quarantined",
+// "historical") so a client can distinguish a live countdown from a
+// best-effort one.
+func setHealthHeader(w http.ResponseWriter, health string) {
+	if health != "" && health != "fresh" {
+		w.Header().Set(healthHeader, health)
 	}
 }
 
@@ -135,10 +230,12 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Health = ah.State.String()
+		setHealthHeader(w, resp.Health)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	resp.Health = est.Health.String()
+	setHealthHeader(w, resp.Health)
 	aj := approachFromEstimate(key, est)
 	resp.Estimate = &aj
 	if state, until, ok := est.PhaseAt(t); ok {
@@ -181,6 +278,7 @@ func (s *Server) handleStateAsOf(w http.ResponseWriter, key mapmatch.Key, q stri
 	est := core.Estimate{Result: rec.Result(), Age: t - rec.WindowEnd}
 	aj := approachFromEstimate(key, est)
 	aj.Health = "historical"
+	setHealthHeader(w, "historical")
 	resp := stateJSON{
 		Light:    int64(key.Light),
 		Approach: key.Approach.String(),
@@ -305,6 +403,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	doc.Count = len(doc.Estimates)
+	setHealthHeader(w, "historical")
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -312,7 +411,10 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 // revalidation: a request carrying the current tag costs a version
 // compare and a 304.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	etag, body := s.snapshot()
+	etag, body, degraded := s.snapshot()
+	if degraded {
+		setHealthHeader(w, "stale")
+	}
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Cache-Control", "no-cache")
 	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
@@ -360,6 +462,28 @@ type healthzJSON struct {
 	// store at startup — non-zero means the daemon answered queries
 	// before its first live trace arrived.
 	WarmStartApproaches int64 `json:"warm_start_approaches"`
+	// Sources reports every supervised ingest source's state machine
+	// and connection accounting; absent before RunSources.
+	Sources []sourceJSON `json:"sources,omitempty"`
+}
+
+// sourceJSON is one supervised source in the /healthz body.
+type sourceJSON struct {
+	Name              string  `json:"name"`
+	Kind              string  `json:"kind"`
+	State             string  `json:"state"`
+	Connects          int64   `json:"connects"`
+	Reconnects        int64   `json:"reconnects"`
+	Resumes           int64   `json:"resumes"`
+	CircuitOpens      int64   `json:"circuit_opens"`
+	AcceptRetries     int64   `json:"accept_retries"`
+	ConnsActive       int64   `json:"connections_active"`
+	ConnsTotal        int64   `json:"connections_total"`
+	ConnsFailed       int64   `json:"connections_failed"`
+	Records           int64   `json:"records"`
+	DedupDropped      int64   `json:"dedup_dropped"`
+	WatermarkUnixSecs float64 `json:"watermark_unix_s,omitempty"`
+	LastError         string  `json:"last_error,omitempty"`
 }
 
 // healthReport aggregates every shard's engine health.
@@ -391,6 +515,30 @@ func (s *Server) healthReport() healthzJSON {
 	}
 	if lastIngest > 0 {
 		doc.LastIngestAgeSeconds = time.Since(time.Unix(0, lastIngest)).Seconds()
+	}
+	if sup := s.supervisor(); sup != nil {
+		for _, st := range sup.Snapshot() {
+			sj := sourceJSON{
+				Name:          st.Name,
+				Kind:          st.Kind,
+				State:         st.State,
+				Connects:      st.Connects,
+				Reconnects:    st.Reconnects,
+				Resumes:       st.Resumes,
+				CircuitOpens:  st.CircuitOpens,
+				AcceptRetries: st.AcceptRetries,
+				ConnsActive:   st.ConnsActive,
+				ConnsTotal:    st.ConnsTotal,
+				ConnsFailed:   st.ConnsFailed,
+				Records:       st.Records,
+				DedupDropped:  st.DedupDropped,
+				LastError:     st.LastError,
+			}
+			if !st.Watermark.IsZero() {
+				sj.WatermarkUnixSecs = float64(st.Watermark.Unix())
+			}
+			doc.Sources = append(doc.Sources, sj)
+		}
 	}
 	return doc
 }
@@ -506,4 +654,77 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.latencies[ep].write(w, "lightd_http_request_duration_seconds", fmt.Sprintf(`path=%q`, ep))
 	}
 	m.latMu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE lightd_http_shed_total counter")
+	m.httpShed.write(w, "lightd_http_shed_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_http_panics_total counter")
+	m.httpPanics.write(w, "lightd_http_panics_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_http_inflight gauge")
+	inflight := 0
+	if s.inflight != nil {
+		inflight = len(s.inflight)
+	}
+	writeSample(w, "lightd_http_inflight", "", float64(inflight))
+
+	if sup := s.supervisor(); sup != nil {
+		writeSourceMetrics(w, sup.Snapshot())
+	}
+}
+
+// writeSourceMetrics renders the per-source supervision series: the
+// state gauge matrix, connection/reconnect/resume/dedup counters, the
+// ingest connection family and the backoff histogram.
+func writeSourceMetrics(w http.ResponseWriter, sources []ingest.SourceStatus) {
+	label := func(st ingest.SourceStatus) string {
+		return fmt.Sprintf(`source=%q`, st.Name)
+	}
+	fmt.Fprintln(w, "# TYPE lightd_source_state gauge")
+	for _, st := range sources {
+		for _, name := range ingest.StateNames() {
+			v := 0.0
+			if st.State == name {
+				v = 1
+			}
+			writeSample(w, "lightd_source_state",
+				fmt.Sprintf(`source=%q,state=%q`, st.Name, name), v)
+		}
+	}
+	counters := []struct {
+		name string
+		get  func(ingest.SourceStatus) int64
+	}{
+		{"lightd_source_connects_total", func(st ingest.SourceStatus) int64 { return st.Connects }},
+		{"lightd_source_reconnects_total", func(st ingest.SourceStatus) int64 { return st.Reconnects }},
+		{"lightd_source_resumes_total", func(st ingest.SourceStatus) int64 { return st.Resumes }},
+		{"lightd_source_circuit_opens_total", func(st ingest.SourceStatus) int64 { return st.CircuitOpens }},
+		{"lightd_source_accept_retries_total", func(st ingest.SourceStatus) int64 { return st.AcceptRetries }},
+		{"lightd_source_records_total", func(st ingest.SourceStatus) int64 { return st.Records }},
+		{"lightd_source_dedup_dropped_total", func(st ingest.SourceStatus) int64 { return st.DedupDropped }},
+		{"lightd_ingest_connections_total", func(st ingest.SourceStatus) int64 { return st.ConnsTotal }},
+		{"lightd_ingest_connections_failed_total", func(st ingest.SourceStatus) int64 { return st.ConnsFailed }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		for _, st := range sources {
+			writeSample(w, c.name, label(st), float64(c.get(st)))
+		}
+	}
+	fmt.Fprintln(w, "# TYPE lightd_ingest_connections_active gauge")
+	for _, st := range sources {
+		writeSample(w, "lightd_ingest_connections_active", label(st), float64(st.ConnsActive))
+	}
+	fmt.Fprintln(w, "# TYPE lightd_source_backoff_seconds histogram")
+	for _, st := range sources {
+		cum := int64(0)
+		for i, b := range st.Backoff.Bounds {
+			cum += st.Backoff.Counts[i]
+			writeSample(w, "lightd_source_backoff_seconds_bucket",
+				joinLabels(label(st), fmt.Sprintf(`le="%g"`, b)), float64(cum))
+		}
+		cum += st.Backoff.Inf
+		writeSample(w, "lightd_source_backoff_seconds_bucket",
+			joinLabels(label(st), `le="+Inf"`), float64(cum))
+		writeSample(w, "lightd_source_backoff_seconds_sum", label(st), st.Backoff.Sum)
+		writeSample(w, "lightd_source_backoff_seconds_count", label(st), float64(st.Backoff.Count))
+	}
 }

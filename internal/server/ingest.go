@@ -4,93 +4,82 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"net"
-	"os"
-	"strings"
 	"time"
 
+	"taxilight/internal/ingest"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/trace"
 )
 
-// RunSource ingests one Table-I CSV feed described by src and blocks
-// until it ends or ctx is cancelled:
-//
-//   - "-"            reads stdin (the `tracegen -stream | lightd -in -` path)
-//   - "tcp://addr"   listens on addr and ingests every accepted
-//     connection concurrently (push feeds)
-//   - anything else  is a file path, ".gz"-aware
-//
-// Every reader goes through the lenient scanner: malformed lines are
-// skipped and surface per error class in /metrics, and only blowing the
-// malformed-fraction budget aborts the source. A file or stdin source
-// returning nil means clean EOF — the daemon keeps serving estimates
-// after a replay ends.
+// RunSource ingests a single source; it is RunSources with one spec.
+// Kept for callers that predate multi-source ingest.
 func (s *Server) RunSource(ctx context.Context, src string) error {
-	if s.matcher == nil {
-		return fmt.Errorf("server: RunSource needs a matcher (built with New(matcher, cfg))")
-	}
-	switch {
-	case src == "-":
-		return s.ingestReader(ctx, os.Stdin)
-	case strings.HasPrefix(src, "tcp://"):
-		return s.listenTCP(ctx, strings.TrimPrefix(src, "tcp://"))
-	default:
-		sc, closer, err := trace.OpenFile(src)
-		if err != nil {
-			return err
-		}
-		sc.SetLenient(s.cfg.Lenient)
-		err = s.ingestScanner(ctx, sc)
-		if cerr := closer.Close(); err == nil {
-			err = cerr
-		}
-		return err
-	}
+	return s.RunSources(ctx, src)
 }
 
-// listenTCP accepts push connections until ctx ends; each connection is
-// scanned independently, so one client blowing its malformed budget does
-// not end the others.
-func (s *Server) listenTCP(ctx context.Context, addr string) error {
-	ln, err := net.Listen("tcp", addr)
+// RunSources ingests every feed named in the comma-separated specs
+// under the ingest supervisor and blocks until all finite sources have
+// drained and ctx has ended:
+//
+//	"-"               stdin (the `tracegen -stream | lightd -in -` path)
+//	tcp://addr        listen on addr for push feeds
+//	tcp+dial://addr   dial addr, reconnect with backoff, dedup replays
+//	anything else     a file path, ".gz"-aware
+//
+// Each entry may carry a "name=" prefix labelling the source in
+// /healthz and /metrics. Every connection goes through the lenient
+// scanner: malformed lines are skipped and surface per error class in
+// /metrics, and only blowing the malformed-fraction budget ends that
+// connection — which for supervised network sources means a reconnect,
+// not death.
+func (s *Server) RunSources(ctx context.Context, specs string) error {
+	if s.matcher == nil {
+		return fmt.Errorf("server: RunSources needs a matcher (built with New(matcher, cfg))")
+	}
+	parsed, err := ingest.ParseSpecs(specs)
 	if err != nil {
 		return err
 	}
-	stop := context.AfterFunc(ctx, func() { ln.Close() })
-	defer stop()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				s.sourceWG.Wait()
-				return nil
-			}
-			s.sourceWG.Wait()
-			return err
-		}
-		s.sourceWG.Add(1)
-		go func(conn net.Conn) {
-			defer s.sourceWG.Done()
-			defer conn.Close()
-			unhook := context.AfterFunc(ctx, func() { conn.Close() })
-			defer unhook()
-			_ = s.ingestReader(ctx, conn)
-		}(conn)
+	icfg := s.cfg.Ingest
+	icfg.Lenient = s.cfg.Lenient
+	sup, err := ingest.NewSupervisor(parsed, icfg, s.consumeSource)
+	if err != nil {
+		return err
 	}
+	s.supMu.Lock()
+	s.sup = sup
+	s.supMu.Unlock()
+	return sup.Run(ctx)
 }
 
-// ingestReader scans one raw feed leniently and ingests it.
+// supervisor returns the running ingest supervisor, or nil before
+// RunSources (handlers must degrade gracefully either way).
+func (s *Server) supervisor() *ingest.Supervisor {
+	s.supMu.Lock()
+	defer s.supMu.Unlock()
+	return s.sup
+}
+
+// consumeSource drains one supervised connection, letting the source's
+// resume-dedup gate reject records a reconnect replayed.
+func (s *Server) consumeSource(ctx context.Context, sc *trace.Scanner, src *ingest.Source) error {
+	return s.ingestScanner(ctx, sc, src.Admit)
+}
+
+// ingestReader scans one raw feed leniently and ingests it without
+// supervision or dedup — the direct path tests and Dispatch-style
+// callers use.
 func (s *Server) ingestReader(ctx context.Context, r io.Reader) error {
-	return s.ingestScanner(ctx, trace.NewLenientScanner(r, s.cfg.Lenient))
+	return s.ingestScanner(ctx, trace.NewLenientScanner(r, s.cfg.Lenient), nil)
 }
 
-// ingestScanner is the dispatch loop: parse → map-match → batch by shard
-// → send. Batches flush when full and at least every FlushEvery, so a
-// slow realtime-paced feed still reaches the engines promptly.
-func (s *Server) ingestScanner(ctx context.Context, sc *trace.Scanner) error {
+// ingestScanner is the dispatch loop: parse → admit → map-match → batch
+// by shard → send. Scanning runs in its own goroutine feeding a channel
+// so the loop can select a flush ticker: batches flush when full and at
+// least every FlushEvery even when no new record arrives — a paused
+// feed must not hold matched records hostage in a partial batch.
+func (s *Server) ingestScanner(ctx context.Context, sc *trace.Scanner, admit func(trace.Record) bool) error {
 	batches := make([][]mapmatch.Matched, len(s.shards))
-	lastFlush := time.Now()
 	var prevStats trace.SkipStats
 	flush := func(idx int) {
 		if len(batches[idx]) > 0 {
@@ -102,32 +91,55 @@ func (s *Server) ingestScanner(ctx context.Context, sc *trace.Scanner) error {
 		for idx := range batches {
 			flush(idx)
 		}
-		lastFlush = time.Now()
-		st := sc.Stats()
-		s.syncScanStats(&prevStats, st)
+		s.syncScanStats(&prevStats, sc.Stats())
 	}
 	defer flushAll()
-	for sc.Scan() {
-		if ctx.Err() != nil {
+
+	// The scan goroutine owns sc until it closes recs; scErr is buffered
+	// and written before the close, so the drain below always finds it.
+	recs := make(chan trace.Record, 128)
+	scErr := make(chan error, 1)
+	go func() {
+		defer close(recs)
+		for sc.Scan() {
+			select {
+			case recs <- sc.Record():
+			case <-ctx.Done():
+				scErr <- ctx.Err()
+				return
+			}
+		}
+		scErr <- sc.Err()
+	}()
+
+	ticker := time.NewTicker(s.cfg.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case rec, ok := <-recs:
+			if !ok {
+				return <-scErr
+			}
+			s.met.ingestRecords.Add(1)
+			if admit != nil && !admit(rec) {
+				continue
+			}
+			if m, matched := s.matcher.Match(rec); matched {
+				s.met.ingestMatched.Add(1)
+				idx := shardIndex(mapmatch.Key{Light: m.Light, Approach: m.Approach}, len(s.shards))
+				batches[idx] = append(batches[idx], m)
+				if len(batches[idx]) >= s.cfg.BatchSize {
+					flush(idx)
+				}
+			} else {
+				s.met.ingestUnmatched.Add(1)
+			}
+		case <-ticker.C:
+			flushAll()
+		case <-ctx.Done():
 			return ctx.Err()
 		}
-		rec := sc.Record()
-		s.met.ingestRecords.Add(1)
-		if m, ok := s.matcher.Match(rec); ok {
-			s.met.ingestMatched.Add(1)
-			idx := shardIndex(mapmatch.Key{Light: m.Light, Approach: m.Approach}, len(s.shards))
-			batches[idx] = append(batches[idx], m)
-			if len(batches[idx]) >= s.cfg.BatchSize {
-				flush(idx)
-			}
-		} else {
-			s.met.ingestUnmatched.Add(1)
-		}
-		if time.Since(lastFlush) >= s.cfg.FlushEvery {
-			flushAll()
-		}
 	}
-	return sc.Err()
 }
 
 // syncScanStats folds one scanner's skip accounting into the daemon

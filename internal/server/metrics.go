@@ -133,6 +133,11 @@ type metrics struct {
 	walFsyncLat   *histogram
 	restoredCount counter // approaches warm-started from the store
 
+	// Overload-hardening series: requests shed by the in-flight limiter
+	// and handler panics swallowed by the recovery middleware.
+	httpShed   counter
+	httpPanics counter
+
 	latMu     sync.Mutex
 	latencies map[string]*histogram // per-endpoint request duration
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"taxilight/internal/core"
+	"taxilight/internal/ingest"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/store"
 	"taxilight/internal/trace"
@@ -42,6 +43,10 @@ type Config struct {
 	// Lenient configures the malformed-line budget of every ingest
 	// scanner (see trace.LenientConfig).
 	Lenient trace.LenientConfig
+	// Ingest tunes the source supervisor: reconnect backoff, circuit
+	// breaker, accept-retry cadence, resume dedup. Its Lenient field is
+	// overwritten with the server's.
+	Ingest ingest.Config
 	// Realtime configures each shard's engine.
 	Realtime core.RealtimeConfig
 	// ReadTimeout/WriteTimeout/IdleTimeout harden the HTTP listener;
@@ -67,6 +72,14 @@ type Config struct {
 	// CheckpointInterval is the wall-clock cadence of full checkpoints;
 	// 0 checkpoints only at shutdown. Ignored without a Store.
 	CheckpointInterval time.Duration
+	// MaxInFlight bounds concurrently served HTTP requests; excess load
+	// is shed with 429 + Retry-After so a hot scrape loop cannot starve
+	// the daemon. /healthz and /metrics are exempt — operators must see
+	// a daemon that is shedding. 0 disables the limiter.
+	MaxInFlight int
+	// DebugEndpoints additionally registers /debug/* handlers (panic and
+	// block drills). Off in production, on in chaos tests.
+	DebugEndpoints bool
 }
 
 // DefaultConfig is the posture lightd starts with: four shards, the
@@ -80,6 +93,7 @@ func DefaultConfig() Config {
 		FlushEvery:         200 * time.Millisecond,
 		TickEvery:          time.Second,
 		Lenient:            trace.DefaultLenientConfig(),
+		Ingest:             ingest.DefaultConfig(),
 		Realtime:           core.DefaultRealtimeConfig(),
 		ReadTimeout:        5 * time.Second,
 		WriteTimeout:       10 * time.Second,
@@ -88,6 +102,7 @@ func DefaultConfig() Config {
 		StaleFeedAfter:     2 * time.Minute,
 		StoreQueue:         256,
 		CheckpointInterval: time.Minute,
+		MaxInFlight:        256,
 	}
 }
 
@@ -108,6 +123,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: non-positive store queue %d", c.StoreQueue)
 	case c.CheckpointInterval < 0:
 		return fmt.Errorf("server: negative checkpoint interval %v", c.CheckpointInterval)
+	case c.MaxInFlight < 0:
+		return fmt.Errorf("server: negative in-flight limit %d", c.MaxInFlight)
+	}
+	if err := c.Ingest.Validate(); err != nil {
+		return err
 	}
 	return c.Realtime.Validate()
 }
@@ -123,9 +143,14 @@ type Server struct {
 	snap    snapshotCache
 
 	shardWG  sync.WaitGroup
-	sourceWG sync.WaitGroup
 	started  bool
 	stopOnce sync.Once
+
+	// Supervised ingest (set by RunSources) and the HTTP in-flight
+	// limiter (nil when MaxInFlight is 0).
+	supMu    sync.Mutex
+	sup      *ingest.Supervisor
+	inflight chan struct{}
 
 	// Persistence plumbing (nil/idle without a configured Store): the
 	// shard loops enqueue newly published estimates, one writer drains
@@ -147,6 +172,9 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 		cfg:     cfg,
 		matcher: matcher,
 		met:     newMetrics(endpointNames),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		eng, err := core.NewEngine(cfg.Realtime)

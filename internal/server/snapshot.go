@@ -50,11 +50,16 @@ type snapshotCache struct {
 	versions []uint64
 	etag     string
 	body     []byte
+	// degraded is true when the cached body holds no fresh approach —
+	// the whole-city answer is best-effort, and /v1/snapshot says so
+	// with the degraded-mode header.
+	degraded bool
 }
 
-// snapshot returns the current ETag and rendered body, rebuilding only
-// when some shard's engine version moved since the cached copy.
-func (s *Server) snapshot() (etag string, body []byte) {
+// snapshot returns the current ETag, rendered body and whether the
+// snapshot is degraded (no fresh approach), rebuilding only when some
+// shard's engine version moved since the cached copy.
+func (s *Server) snapshot() (etag string, body []byte, degraded bool) {
 	cur := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
 		cur[i] = sh.engine.Version()
@@ -62,8 +67,9 @@ func (s *Server) snapshot() (etag string, body []byte) {
 	s.snap.mu.Lock()
 	defer s.snap.mu.Unlock()
 	if s.snap.body != nil && versionsEqual(s.snap.versions, cur) {
-		return s.snap.etag, s.snap.body
+		return s.snap.etag, s.snap.body, s.snap.degraded
 	}
+	fresh := 0
 	doc := snapshotJSON{Approaches: []approachJSON{}}
 	for i, sh := range s.shards {
 		snap, v := sh.engine.SnapshotVersioned()
@@ -74,6 +80,9 @@ func (s *Server) snapshot() (etag string, body []byte) {
 		for k, est := range snap {
 			doc.Approaches = append(doc.Approaches, approachFromEstimate(k, est))
 			s.met.estimateAge.Observe(est.Age)
+			if est.Health == core.Fresh {
+				fresh++
+			}
 		}
 	}
 	sort.Slice(doc.Approaches, func(i, j int) bool {
@@ -92,7 +101,8 @@ func (s *Server) snapshot() (etag string, body []byte) {
 	s.snap.versions = cur
 	s.snap.body = body
 	s.snap.etag = etagFor(cur, len(doc.Approaches))
-	return s.snap.etag, s.snap.body
+	s.snap.degraded = fresh == 0
+	return s.snap.etag, s.snap.body, s.snap.degraded
 }
 
 // approachFromEstimate renders one engine estimate for the API.
