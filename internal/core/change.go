@@ -15,7 +15,20 @@ func Superpose(samples []dsp.Sample, cycle, t0 float64) ([]dsp.Sample, error) {
 	if cycle <= 0 {
 		return nil, fmt.Errorf("core: non-positive cycle %v", cycle)
 	}
-	out := make([]dsp.Sample, len(samples))
+	return superposeTo(make([]dsp.Sample, len(samples)), samples, cycle, t0), nil
+}
+
+// superposeSc is Superpose into the scratch's folded buffer.
+func superposeSc(sc *identifyScratch, samples []dsp.Sample, cycle, t0 float64) ([]dsp.Sample, error) {
+	if cycle <= 0 {
+		return nil, fmt.Errorf("core: non-positive cycle %v", cycle)
+	}
+	out := superposeTo(growSamples(sc.folded, len(samples)), samples, cycle, t0)
+	sc.folded = out
+	return out, nil
+}
+
+func superposeTo(out []dsp.Sample, samples []dsp.Sample, cycle, t0 float64) []dsp.Sample {
 	for i, s := range samples {
 		p := math.Mod(s.T-t0, cycle)
 		if p < 0 {
@@ -24,13 +37,26 @@ func Superpose(samples []dsp.Sample, cycle, t0 float64) ([]dsp.Sample, error) {
 		out[i] = dsp.Sample{T: p, V: s.V}
 	}
 	dsp.SortSamples(out)
-	return out, nil
+	return out
 }
 
 // FoldedSpeedCurve buckets superposed samples into whole-second slots of
 // one cycle and fills empty slots by circular linear interpolation,
 // producing the length-cycle speed curve the sliding-window step scans.
 func FoldedSpeedCurve(folded []dsp.Sample, cycle float64) ([]float64, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	curve, err := foldedSpeedCurveSc(sc, folded, cycle)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), curve...), nil
+}
+
+// foldedSpeedCurveSc is FoldedSpeedCurve with the slot accumulators and
+// the curve itself in scratch buffers. The returned slice is owned by the
+// scratch and overwritten by the next call.
+func foldedSpeedCurveSc(sc *identifyScratch, folded []dsp.Sample, cycle float64) ([]float64, error) {
 	n := int(math.Round(cycle))
 	if n < 2 {
 		return nil, fmt.Errorf("core: cycle %v too short to fold", cycle)
@@ -38,8 +64,13 @@ func FoldedSpeedCurve(folded []dsp.Sample, cycle float64) ([]float64, error) {
 	if len(folded) == 0 {
 		return nil, ErrInsufficientData
 	}
-	sums := make([]float64, n)
-	counts := make([]int, n)
+	sums := growF64(sc.curveSums, n)
+	counts := growInt(sc.curveCounts, n)
+	sc.curveSums, sc.curveCounts = sums, counts
+	for i := 0; i < n; i++ {
+		sums[i] = 0
+		counts[i] = 0
+	}
 	for _, s := range folded {
 		i := int(s.T)
 		if i >= n {
@@ -51,7 +82,8 @@ func FoldedSpeedCurve(folded []dsp.Sample, cycle float64) ([]float64, error) {
 		sums[i] += s.V
 		counts[i]++
 	}
-	curve := make([]float64, n)
+	curve := growF64(sc.curve, n)
+	sc.curve = curve
 	filled := 0
 	for i := range curve {
 		if counts[i] > 0 {
@@ -125,10 +157,16 @@ type ChangeEstimate struct {
 // using the paper's sliding-window moving average: the window of length
 // red with the minimum mean speed is the red phase.
 func IdentifyChange(folded []dsp.Sample, cycle, red float64) (ChangeEstimate, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return identifyChangeSc(sc, folded, cycle, red)
+}
+
+func identifyChangeSc(sc *identifyScratch, folded []dsp.Sample, cycle, red float64) (ChangeEstimate, error) {
 	if red <= 0 || red >= cycle {
 		return ChangeEstimate{}, fmt.Errorf("core: red %v outside (0, cycle=%v)", red, cycle)
 	}
-	curve, err := FoldedSpeedCurve(folded, cycle)
+	curve, err := foldedSpeedCurveSc(sc, folded, cycle)
 	if err != nil {
 		return ChangeEstimate{}, err
 	}
@@ -139,10 +177,11 @@ func IdentifyChange(folded []dsp.Sample, cycle, red float64) (ChangeEstimate, er
 	if window > len(curve) {
 		window = len(curve)
 	}
-	avg, err := dsp.CircularMovingAverage(curve, window)
+	avg, err := dsp.CircularMovingAverageInto(sc.avg, curve, window)
 	if err != nil {
 		return ChangeEstimate{}, err
 	}
+	sc.avg = avg
 	i := dsp.ArgMin(avg)
 	g2r := float64(i)
 	r2g := math.Mod(g2r+red, cycle)
@@ -158,13 +197,19 @@ func IdentifyChange(folded []dsp.Sample, cycle, red float64) (ChangeEstimate, er
 // 15/30/60 s), while the folded curve has 1-second resolution, so this
 // sharpens red by up to one reporting interval.
 func RefineRedAndChange(folded []dsp.Sample, cycle, redGuess, delta float64) (float64, ChangeEstimate, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return refineRedAndChangeSc(sc, folded, cycle, redGuess, delta)
+}
+
+func refineRedAndChangeSc(sc *identifyScratch, folded []dsp.Sample, cycle, redGuess, delta float64) (float64, ChangeEstimate, error) {
 	if redGuess <= 0 || redGuess >= cycle {
 		return 0, ChangeEstimate{}, fmt.Errorf("core: red guess %v outside (0, cycle=%v)", redGuess, cycle)
 	}
 	if delta < 0 {
 		return 0, ChangeEstimate{}, fmt.Errorf("core: negative delta %v", delta)
 	}
-	curve, err := FoldedSpeedCurve(folded, cycle)
+	curve, err := foldedSpeedCurveSc(sc, folded, cycle)
 	if err != nil {
 		return 0, ChangeEstimate{}, err
 	}
@@ -178,41 +223,41 @@ func RefineRedAndChange(folded []dsp.Sample, cycle, redGuess, delta float64) (fl
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	// Take the maximum-contrast window (first-seen, i.e. shortest, on
+	// ties; the scan ascends in w). A margin-based shortest-window
+	// preference was evaluated and rejected: the observed low-speed arc is
+	// mushy at its *start* (cars still sweep through the zone early in
+	// red), so trimming the window mostly cuts genuine red and drags the
+	// change phase late.
 	type cand struct {
 		w     int
 		i     int
 		score float64
 		in    float64
 	}
-	var cands []cand
+	var best cand
+	count := 0
 	bestScore := math.Inf(-1)
 	for w := lo; w <= hi; w++ {
-		avg, err := dsp.CircularMovingAverage(curve, w)
+		avg, err := dsp.CircularMovingAverageInto(sc.avg, curve, w)
 		if err != nil {
 			continue
 		}
+		sc.avg = avg
 		i := dsp.ArgMin(avg)
 		inMean := avg[i]
 		outMean := (total - float64(w)*inMean) / float64(n-w)
 		score := outMean - inMean
-		cands = append(cands, cand{w: w, i: i, score: score, in: inMean})
+		if count == 0 || score > best.score {
+			best = cand{w: w, i: i, score: score, in: inMean}
+		}
+		count++
 		if score > bestScore {
 			bestScore = score
 		}
 	}
-	if math.IsInf(bestScore, -1) || len(cands) == 0 {
+	if math.IsInf(bestScore, -1) || count == 0 {
 		return 0, ChangeEstimate{}, ErrInsufficientData
-	}
-	// Take the maximum-contrast window (ties to the shortest). A margin-
-	// based shortest-window preference was evaluated and rejected: the
-	// observed low-speed arc is mushy at its *start* (cars still sweep
-	// through the zone early in red), so trimming the window mostly cuts
-	// genuine red and drags the change phase late.
-	best := cands[0]
-	for _, c := range cands {
-		if c.score > best.score {
-			best = c
-		}
 	}
 	return float64(best.w), ChangeEstimate{
 		GreenToRed:    float64(best.i),

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"taxilight/internal/dsp"
 )
@@ -94,38 +93,62 @@ func (c CycleConfig) Validate() error {
 // outside the window are ignored. The returned length is N/k seconds
 // where k is the dominant DFT bin within the configured band.
 func IdentifyCycle(samples []dsp.Sample, t0, t1 float64, cfg CycleConfig) (float64, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return identifyCycleSc(sc, samples, t0, t1, cfg)
+}
+
+// identifyCycleSc is IdentifyCycle on a caller-supplied scratch: every
+// intermediate (windowed input, resampling grid, FFT plan, fold bins,
+// candidate lists) lives in reused buffers, so the steady-state call
+// allocates nothing.
+func identifyCycleSc(sc *identifyScratch, samples []dsp.Sample, t0, t1 float64, cfg CycleConfig) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
 	if t1 <= t0 {
 		return 0, fmt.Errorf("core: empty window [%v, %v]", t0, t1)
 	}
-	in := windowed(samples, t0, t1)
-	dsp.SortSamples(in)
-	in = dsp.MergeDuplicateTimes(in)
+	buf := appendWindowed(sc.cycIn[:0], samples, t0, t1)
+	sc.cycIn = buf
+	sortSamplesIfNeeded(buf)
+	in := dsp.MergeDuplicateTimesInPlace(buf)
 	if len(in) < cfg.MinSamples {
 		return 0, fmt.Errorf("%w: %d samples after merging, need %d", ErrInsufficientData, len(in), cfg.MinSamples)
+	}
+	// Shorten an odd-length grid by one second so its length is even: the
+	// packed real-input FFT transforms even lengths with one half-size
+	// complex FFT, and one second out of an 1800 s window is noise. The
+	// dropped second only shrinks the grid; samples near t1 still shape
+	// the interpolation as knots.
+	gridT1 := t1
+	if n := int(t1-t0) + 1; n > 1 && n%2 == 1 {
+		gridT1 = t0 + float64(n-2)
 	}
 	var grid []float64
 	var err error
 	switch cfg.Interp {
 	case InterpLinear:
-		grid, err = dsp.ResampleLinear(in, t0, t1)
+		grid, err = sc.resampler.Linear(in, t0, gridT1)
 	case InterpHold:
-		grid, err = dsp.ResampleHold(in, t0, t1)
+		grid, err = sc.resampler.Hold(in, t0, gridT1)
 	default:
-		grid, err = dsp.ResampleSpline(in, t0, t1)
+		grid, err = sc.resampler.Spline(in, t0, gridT1)
 	}
 	if err != nil {
 		return 0, err
 	}
 	clampToObserved(grid, in)
 	n := len(grid)
-	mags, release, err := pooledSpectrum(dsp.Detrend(grid))
+	dsp.DetrendInPlace(grid)
+	plan, err := sc.plan(n)
 	if err != nil {
 		return 0, err
 	}
-	defer release()
+	mags, err := plan.MagnitudesReal(grid)
+	if err != nil {
+		return 0, err
+	}
 	// Bins within the plausible cycle band: cycle = N/k, so
 	// k in [N/MaxCycle, N/MinCycle].
 	kMin := int(math.Ceil(float64(n) / cfg.MaxCycle))
@@ -153,31 +176,26 @@ func IdentifyCycle(samples []dsp.Sample, t0, t1 float64, cfg CycleConfig) (float
 	// onto a harmonic of the light or onto a neighbouring light's
 	// discharge platoons; folding the raw samples at each candidate and
 	// scoring the alignment disambiguates cheaply.
-	type peak struct {
-		k   int
-		mag float64
-	}
-	peaks := make([]peak, 0, kMax-kMin+1)
+	peaks := sc.peaks[:0]
 	for k := kMin; k <= kMax; k++ {
-		peaks = append(peaks, peak{k, mags[k]})
+		peaks = append(peaks, specPeak{k, mags[k]})
 	}
+	sc.peaks = peaks
 	sort.Slice(peaks, func(i, j int) bool { return peaks[i].mag > peaks[j].mag })
 	if len(peaks) > cfg.Candidates {
 		peaks = peaks[:cfg.Candidates]
 	}
-	type scored struct {
-		cycle, score float64
-	}
-	cands := make([]scored, 0, len(peaks))
+	cands := sc.cands[:0]
 	bestCycle, bestScore := float64(n)/float64(peaks[0].k), math.Inf(-1)
 	for _, p := range peaks {
 		cycle := float64(n) / float64(p.k)
-		score := foldScore(in, cycle, t0)
-		cands = append(cands, scored{cycle, score})
+		score := foldScoreSc(sc, in, cycle, t0)
+		cands = append(cands, scoredCand{cycle, score})
 		if score > bestScore {
 			bestScore, bestCycle = score, cycle
 		}
 	}
+	sc.cands = cands
 	// Harmonic tie-break: folding at an integer multiple of the true
 	// cycle explains the same variance (every phase bin of the short
 	// fold maps onto bins of the long fold with identical means), so the
@@ -196,42 +214,28 @@ func IdentifyCycle(samples []dsp.Sample, t0, t1 float64, cfg CycleConfig) (float
 			}
 		}
 	}
-	return refineCycle(in, bestCycle, t0, float64(n)), nil
+	return refineCycleSc(sc, in, bestCycle, t0, float64(n)), nil
 }
 
-// planPools hands out per-length FFT plans so the monitoring loop — the
-// same window length re-analysed every five minutes for every light —
-// does not re-allocate transform scratch on each call. Plans are not
-// concurrency-safe, so they are pooled rather than shared.
-var planPools sync.Map // map[int]*sync.Pool
-
-// pooledSpectrum computes the magnitude spectrum of x using a pooled
-// FFTPlan. The returned slice is only valid until release is called.
-func pooledSpectrum(x []float64) ([]float64, func(), error) {
-	n := len(x)
-	poolAny, _ := planPools.LoadOrStore(n, &sync.Pool{})
-	pool := poolAny.(*sync.Pool)
-	plan, _ := pool.Get().(*dsp.FFTPlan)
-	if plan == nil {
-		var err error
-		plan, err = dsp.NewFFTPlan(n)
-		if err != nil {
-			return nil, nil, err
+// sortSamplesIfNeeded stable-sorts s by time unless it is already
+// non-decreasing. Pipeline inputs are window slices of time-sorted
+// buffers, so the common case is a cheap linear scan with no sort
+// allocation; skipping a stable sort of sorted input is an identity.
+func sortSamplesIfNeeded(s []dsp.Sample) {
+	for i := 1; i < len(s); i++ {
+		if s[i].T < s[i-1].T {
+			dsp.SortSamples(s)
+			return
 		}
 	}
-	mags, err := plan.MagnitudesReal(x)
-	if err != nil {
-		return nil, nil, err
-	}
-	return mags, func() { pool.Put(plan) }, nil
 }
 
-// refineCycle sharpens a DFT-bin cycle estimate by local fold-score
+// refineCycleSc sharpens a DFT-bin cycle estimate by local fold-score
 // search. Adjacent DFT bins are cycle²/T apart (~2.6 s for a 97 s cycle
 // over an hour), and even a 0.3 s cycle error drifts the fold phase by
 // ~11 s across the window, smearing the downstream red/phase stages; the
 // grid search recovers sub-bin precision the spectrum cannot express.
-func refineCycle(in []dsp.Sample, cycle, t0, windowLen float64) float64 {
+func refineCycleSc(sc *identifyScratch, in []dsp.Sample, cycle, t0, windowLen float64) float64 {
 	spacing := cycle * cycle / windowLen
 	lo, hi := cycle-spacing, cycle+spacing
 	step := spacing / 25
@@ -240,18 +244,20 @@ func refineCycle(in []dsp.Sample, cycle, t0, windowLen float64) float64 {
 	}
 	best, bestScore := cycle, math.Inf(-1)
 	for c := lo; c <= hi; c += step {
-		if s := foldScore(in, c, t0); s > bestScore {
+		if s := foldScoreSc(sc, in, c, t0); s > bestScore {
 			bestScore, best = s, c
 		}
 	}
 	return best
 }
 
-// foldScore measures how well a candidate cycle aligns the raw samples:
+// foldScoreSc measures how well a candidate cycle aligns the raw samples:
 // the fraction of speed variance explained by the fold phase (ANOVA R²,
 // adjusted for the number of phase bins so longer candidates are not
-// rewarded for overfitting).
-func foldScore(samples []dsp.Sample, cycle, t0 float64) float64 {
+// rewarded for overfitting). Accumulators live in the scratch, and each
+// sample's phase bin is memoised in the first pass so the second pass
+// skips the math.Mod.
+func foldScoreSc(sc *identifyScratch, samples []dsp.Sample, cycle, t0 float64) float64 {
 	n := len(samples)
 	if n < 4 || cycle <= 0 {
 		return math.Inf(-1)
@@ -264,15 +270,21 @@ func foldScore(samples []dsp.Sample, cycle, t0 float64) float64 {
 	if nb < 2 {
 		return math.Inf(-1)
 	}
-	sums := make([]float64, nb)
-	counts := make([]float64, nb)
+	sums := growF64(sc.foldSums, nb)
+	counts := growF64(sc.foldCounts, nb)
+	bins := growI32(sc.foldBins, n)
+	sc.foldSums, sc.foldCounts, sc.foldBins = sums, counts, bins
+	for i := 0; i < nb; i++ {
+		sums[i] = 0
+		counts[i] = 0
+	}
 	mean := 0.0
 	for _, s := range samples {
 		mean += s.V
 	}
 	mean /= float64(n)
 	var ssTotal float64
-	for _, s := range samples {
+	for i, s := range samples {
 		ph := math.Mod(s.T-t0, cycle)
 		if ph < 0 {
 			ph += cycle
@@ -281,6 +293,7 @@ func foldScore(samples []dsp.Sample, cycle, t0 float64) float64 {
 		if b >= nb {
 			b = nb - 1
 		}
+		bins[i] = int32(b)
 		sums[b] += s.V
 		counts[b]++
 		d := s.V - mean
@@ -291,20 +304,13 @@ func foldScore(samples []dsp.Sample, cycle, t0 float64) float64 {
 	}
 	var ssWithin float64
 	used := 0
-	for _, s := range samples {
-		ph := math.Mod(s.T-t0, cycle)
-		if ph < 0 {
-			ph += cycle
-		}
-		b := int(ph / binW)
-		if b >= nb {
-			b = nb - 1
-		}
+	for i, s := range samples {
+		b := bins[i]
 		d := s.V - sums[b]/counts[b]
 		ssWithin += d * d
 	}
-	for _, c := range counts {
-		if c > 0 {
+	for i := 0; i < nb; i++ {
+		if counts[i] > 0 {
 			used++
 		}
 	}
@@ -351,13 +357,17 @@ func clampToObserved(grid []float64, samples []dsp.Sample) {
 
 // windowed returns the samples with t0 <= T <= t1 (copied).
 func windowed(samples []dsp.Sample, t0, t1 float64) []dsp.Sample {
-	out := make([]dsp.Sample, 0, len(samples))
+	return appendWindowed(make([]dsp.Sample, 0, len(samples)), samples, t0, t1)
+}
+
+// appendWindowed appends the samples with t0 <= T <= t1 to dst.
+func appendWindowed(dst []dsp.Sample, samples []dsp.Sample, t0, t1 float64) []dsp.Sample {
 	for _, s := range samples {
 		if s.T >= t0 && s.T <= t1 {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }
 
 // Enhance implements the intersection-based enhancement of Eq. 3: the
@@ -368,10 +378,28 @@ func windowed(samples []dsp.Sample, t0, t1 float64) []dsp.Sample {
 // values reinforce the shared periodicity instead of cancelling it.
 // The result is sorted with one sample per whole second.
 func Enhance(primary, perp []dsp.Sample) []dsp.Sample {
+	sc := getScratch()
+	defer putScratch(sc)
+	out := enhanceSc(sc, primary, perp)
+	if len(out) == 0 {
+		return nil
+	}
+	return append([]dsp.Sample(nil), out...)
+}
+
+// enhanceSc is Enhance into scratch buffers: the two approach series are
+// merged in place and combined with a single two-pointer pass instead of
+// copying each twice and deduplicating through a map. Merged series are
+// strictly increasing in whole-second time, so one ordered walk emits the
+// primary sample on a shared second and the mirrored perpendicular sample
+// otherwise — the same set, in the same sorted order, as the map-based
+// construction. The returned slice is owned by the scratch.
+func enhanceSc(sc *identifyScratch, primary, perp []dsp.Sample) []dsp.Sample {
 	if len(perp) == 0 {
-		out := append([]dsp.Sample(nil), primary...)
-		dsp.SortSamples(out)
-		return dsp.MergeDuplicateTimes(out)
+		buf := append(sc.enhanced[:0], primary...)
+		sc.enhanced = buf
+		sortSamplesIfNeeded(buf)
+		return dsp.MergeDuplicateTimesInPlace(buf)
 	}
 	var sum float64
 	n := 0
@@ -388,32 +416,45 @@ func Enhance(primary, perp []dsp.Sample) []dsp.Sample {
 	}
 	mean := sum / float64(n)
 
-	p := append([]dsp.Sample(nil), primary...)
-	dsp.SortSamples(p)
-	p = dsp.MergeDuplicateTimes(p)
-	q := append([]dsp.Sample(nil), perp...)
-	dsp.SortSamples(q)
-	q = dsp.MergeDuplicateTimes(q)
+	pbuf := append(sc.enhanced[:0], primary...)
+	sc.enhanced = pbuf
+	sortSamplesIfNeeded(pbuf)
+	p := dsp.MergeDuplicateTimesInPlace(pbuf)
+	qbuf := append(sc.perpMrg[:0], perp...)
+	sc.perpMrg = qbuf
+	sortSamplesIfNeeded(qbuf)
+	q := dsp.MergeDuplicateTimesInPlace(qbuf)
 
-	have := make(map[int64]bool, len(p))
-	for _, s := range p {
-		have[int64(s.T)] = true
-	}
-	out := p
-	for _, s := range q {
-		if have[int64(s.T)] {
-			continue
+	out := sc.enhOut[:0]
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i].T < q[j].T:
+			out = append(out, p[i])
+			i++
+		case p[i].T > q[j].T:
+			out = append(out, dsp.Sample{T: q[j].T, V: math.Max(0, 2*mean-q[j].V)})
+			j++
+		default: // same second: the primary approach wins
+			out = append(out, p[i])
+			i++
+			j++
 		}
-		out = append(out, dsp.Sample{T: s.T, V: math.Max(0, 2*mean-s.V)})
 	}
-	dsp.SortSamples(out)
+	out = append(out, p[i:]...)
+	for ; j < len(q); j++ {
+		out = append(out, dsp.Sample{T: q[j].T, V: math.Max(0, 2*mean-q[j].V)})
+	}
+	sc.enhOut = out
 	return out
 }
 
 // IdentifyCycleEnhanced runs IdentifyCycle on the enhancement of the
 // primary approach with its perpendicular neighbour.
 func IdentifyCycleEnhanced(primary, perp []dsp.Sample, t0, t1 float64, cfg CycleConfig) (float64, error) {
-	return IdentifyCycle(Enhance(primary, perp), t0, t1, cfg)
+	sc := getScratch()
+	defer putScratch(sc)
+	return identifyCycleSc(sc, enhanceSc(sc, primary, perp), t0, t1, cfg)
 }
 
 // SpeedSeries converts (time, speed) pairs into dsp samples; it is a
@@ -436,5 +477,7 @@ func SpeedSeries(ts, vs []float64) ([]dsp.Sample, error) {
 // verification metric behind candidate selection and sub-bin refinement
 // and is exported for diagnostics and ablation studies.
 func FoldScore(samples []dsp.Sample, cycle, t0 float64) float64 {
-	return foldScore(samples, cycle, t0)
+	sc := getScratch()
+	defer putScratch(sc)
+	return foldScoreSc(sc, samples, cycle, t0)
 }

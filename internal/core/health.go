@@ -163,8 +163,8 @@ func (e *Engine) Health() HealthReport {
 		DroppedOldRecords:      e.droppedOld,
 		DroppedOverflowRecords: e.droppedOverflow,
 	}
-	for _, ms := range e.buf {
-		rep.BufferedRecords += len(ms)
+	for _, kb := range e.buf {
+		rep.BufferedRecords += len(kb.ms)
 	}
 	for k := range e.estimates {
 		rep.Approaches[k] = e.approachHealthLocked(k)

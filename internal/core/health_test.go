@@ -172,7 +172,7 @@ func TestIngestCapsPerKeyBuffer(t *testing.T) {
 	// The newest records must be the survivors.
 	eng.mu.RLock()
 	defer eng.mu.RUnlock()
-	for _, m := range eng.buf[key] {
+	for _, m := range eng.buf[key].ms {
 		if m.T < 500 {
 			t.Fatalf("old record t=%v survived eviction", m.T)
 		}

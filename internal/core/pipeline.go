@@ -121,13 +121,17 @@ func SpeedSamples(ms []mapmatch.Matched) []dsp.Sample {
 // SpeedSamplesNear is SpeedSamples restricted to records within maxDist
 // metres of the stop line.
 func SpeedSamplesNear(ms []mapmatch.Matched, maxDist float64) []dsp.Sample {
-	out := make([]dsp.Sample, 0, len(ms))
+	return appendSpeedSamplesNear(make([]dsp.Sample, 0, len(ms)), ms, maxDist)
+}
+
+// appendSpeedSamplesNear appends the near-stop-line speed samples to dst.
+func appendSpeedSamplesNear(dst []dsp.Sample, ms []mapmatch.Matched, maxDist float64) []dsp.Sample {
 	for _, m := range ms {
 		if m.DistToStop <= maxDist {
-			out = append(out, dsp.Sample{T: m.T, V: m.Rec.SpeedKMH})
+			dst = append(dst, dsp.Sample{T: m.T, V: m.Rec.SpeedKMH})
 		}
 	}
-	return out
+	return dst
 }
 
 // PipelineConfig configures the end-to-end per-light identification.
@@ -226,19 +230,33 @@ type Result struct {
 // parallel once the data is partitioned (Section IV). The result map has
 // one entry per input partition key.
 func RunPipeline(part mapmatch.Partition, t0, t1 float64, cfg PipelineConfig) (map[mapmatch.Key]Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	keys := make([]mapmatch.Key, 0, len(part))
 	for k := range part {
 		keys = append(keys, k)
 	}
+	sortKeys(keys)
+	return runPipelineKeys(part, keys, t0, t1, cfg)
+}
+
+// sortKeys orders approach keys deterministically (light, then approach).
+func sortKeys(keys []mapmatch.Key) {
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Light != keys[j].Light {
 			return keys[i].Light < keys[j].Light
 		}
 		return keys[i].Approach < keys[j].Approach
 	})
+}
+
+// runPipelineKeys identifies only the listed approach keys against the
+// partition. The partition may contain more keys than are identified —
+// the incremental engine passes the perpendicular approaches of dirty
+// keys as enhancement/stop-index context without recomputing them. The
+// result map has one entry per listed key.
+func runPipelineKeys(part mapmatch.Partition, keys []mapmatch.Key, t0, t1 float64, cfg PipelineConfig) (map[mapmatch.Key]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -262,8 +280,10 @@ func RunPipeline(part mapmatch.Partition, t0, t1 float64, cfg PipelineConfig) (m
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
 			for i := range jobs {
-				results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg)
+				results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg, sc)
 			}
 		}()
 	}
@@ -289,7 +309,7 @@ var identifyHook func(key mapmatch.Key)
 // estimation round for every other light. The panic is converted into
 // the approach's Result.Err, which the realtime engine's quarantine
 // ledger then handles like any other per-approach failure.
-func identifyOneSafe(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig) (res Result) {
+func identifyOneSafe(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig, sc *identifyScratch) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{
@@ -301,49 +321,59 @@ func identifyOneSafe(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.K
 	if identifyHook != nil {
 		identifyHook(key)
 	}
-	return identifyOne(part, stopIdx, key, t0, t1, cfg)
+	return identifyOne(part, stopIdx, key, t0, t1, cfg, sc)
 }
 
-// identifyOne runs the full single-light procedure for one approach.
-func identifyOne(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig) Result {
+// identifyOne runs the full single-light procedure for one approach. All
+// intermediates live in the worker's scratch: the windowed speed series
+// is computed once and reused by the enhancement gate, the fold-quality
+// score and the superposition (it used to be recomputed for each).
+func identifyOne(part mapmatch.Partition, stopIdx *StopIndex, key mapmatch.Key, t0, t1 float64, cfg PipelineConfig, sc *identifyScratch) Result {
 	ms := part[key]
 	res := Result{Key: key, WindowStart: t0, WindowEnd: t1, Records: len(ms)}
 
-	clean := stopIdx.FilterDwellRecords(ms)
-	primary := SpeedSamplesNear(clean, cfg.MaxSpeedDist)
+	clean := stopIdx.filterDwellRecordsInto(sc.clean[:0], ms)
+	sc.clean = clean
+	primary := appendSpeedSamplesNear(sc.primary[:0], clean, cfg.MaxSpeedDist)
+	sc.primary = primary
+	win := appendWindowed(sc.win[:0], primary, t0, t1)
+	sc.win = win
 	var cycle float64
 	var err error
-	if cfg.UseEnhancement && len(windowed(primary, t0, t1)) < cfg.EnhanceBelow {
-		perp := SpeedSamplesNear(stopIdx.FilterDwellRecords(part[key.PerpendicularKey()]), cfg.MaxSpeedDist)
-		cycle, err = IdentifyCycleEnhanced(primary, perp, t0, t1, cfg.Cycle)
+	if cfg.UseEnhancement && len(win) < cfg.EnhanceBelow {
+		perpClean := stopIdx.filterDwellRecordsInto(sc.perpClean[:0], part[key.PerpendicularKey()])
+		sc.perpClean = perpClean
+		perp := appendSpeedSamplesNear(sc.perp[:0], perpClean, cfg.MaxSpeedDist)
+		sc.perp = perp
+		cycle, err = identifyCycleSc(sc, enhanceSc(sc, primary, perp), t0, t1, cfg.Cycle)
 		res.Enhanced = true
 	} else {
-		cycle, err = IdentifyCycle(primary, t0, t1, cfg.Cycle)
+		cycle, err = identifyCycleSc(sc, primary, t0, t1, cfg.Cycle)
 	}
 	if err != nil {
 		res.Err = fmt.Errorf("cycle: %w", err)
 		return res
 	}
 	res.Cycle = cycle
-	res.Quality = FoldScore(windowed(primary, t0, t1), cycle, t0)
+	res.Quality = foldScoreSc(sc, win, cycle, t0)
 
 	stops := stopIdx.Stops(key)
 	res.Stops = len(stops)
-	red, err := IdentifyRed(stops, cycle, cfg.Red)
+	red, err := identifyRedSc(sc, stops, cycle, cfg.Red)
 	if err != nil {
 		res.Err = fmt.Errorf("red: %w", err)
 		return res
 	}
-	folded, err := Superpose(windowed(primary, t0, t1), cycle, t0)
+	folded, err := superposeSc(sc, win, cycle, t0)
 	if err != nil {
 		res.Err = fmt.Errorf("superpose: %w", err)
 		return res
 	}
 	var ch ChangeEstimate
 	if cfg.RefineRed {
-		red, ch, err = RefineRedAndChange(folded, cycle, red, 1.5*cfg.Red.SampleInterval)
+		red, ch, err = refineRedAndChangeSc(sc, folded, cycle, red, 1.5*cfg.Red.SampleInterval)
 	} else {
-		ch, err = IdentifyChange(folded, cycle, red)
+		ch, err = identifyChangeSc(sc, folded, cycle, red)
 	}
 	if err != nil {
 		res.Err = fmt.Errorf("change: %w", err)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"taxilight/internal/lights"
 	"taxilight/internal/mapmatch"
@@ -40,6 +41,12 @@ type RealtimeConfig struct {
 	// quarantine-with-backoff for repeatedly failing approaches, and the
 	// staleness threshold behind the Fresh/Stale health states.
 	Faults FaultPolicy
+	// FullReestimate disables dirty-key tracking: every round re-identifies
+	// every approach with in-window data, as the engine did before
+	// incremental estimation. Kept as the A/B oracle for the determinism
+	// tests and for operators who prefer predictable round cost over
+	// proportional cost.
+	FullReestimate bool
 }
 
 // DefaultRealtimeConfig matches the paper's cadence.
@@ -96,11 +103,30 @@ type KeyedChange struct {
 // per-approach schedules are re-identified over the trailing Window —
 // exactly the continuous operation of the paper's Fig. 4 system loop.
 // All methods are safe for concurrent use.
+//
+// Estimation is incremental and non-blocking. Ingest marks the keys that
+// receive in-window records dirty, and a round re-identifies only the
+// dirty (or newly unquarantined) keys, carrying every other key's
+// published estimate forward — a tick where 5 % of the keys saw fresh
+// data does ~5 % of the pipeline work. A round holds e.mu only for two
+// short sections: copying the dirty keys' window views out, and
+// publishing the finished results; the identification itself (DFT,
+// folding, refinement) runs outside the lock, so Ingest, Snapshot and
+// StateOf never wait on pipeline work. Rounds themselves are serialized
+// by estMu.
 type Engine struct {
 	cfg RealtimeConfig
 
+	// estMu serializes estimation rounds: Advance holds it for the whole
+	// catch-up loop so rounds never interleave, while e.mu is only taken
+	// for the snapshot and publish sections inside each round.
+	estMu         sync.Mutex
+	roundObserver func(RoundStats)
+
 	mu        sync.RWMutex
-	buf       mapmatch.Partition
+	buf       map[mapmatch.Key]*keyBuffer
+	dirty     map[mapmatch.Key]struct{}
+	mergeBuf  []mapmatch.Matched // normalize scratch, guarded by mu
 	now       float64
 	nextRun   float64
 	version   uint64
@@ -115,6 +141,17 @@ type Engine struct {
 	droppedOverflow int64
 }
 
+// keyBuffer holds one approach's buffered records under a sorted-prefix
+// invariant: ms[:sorted] is sorted by T, ms[sorted:] is the unsorted
+// suffix appended since the last normalize. Ingest appends (extending the
+// sorted prefix when arrivals are already in order); normalizeLocked
+// sorts only the suffix and merges — replacing the whole-buffer stable
+// sort each round used to pay.
+type keyBuffer struct {
+	ms     []mapmatch.Matched
+	sorted int
+}
+
 // NewEngine returns an idle engine.
 func NewEngine(cfg RealtimeConfig) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
@@ -122,7 +159,8 @@ func NewEngine(cfg RealtimeConfig) (*Engine, error) {
 	}
 	return &Engine{
 		cfg:       cfg,
-		buf:       mapmatch.Partition{},
+		buf:       map[mapmatch.Key]*keyBuffer{},
+		dirty:     map[mapmatch.Key]struct{}{},
 		estimates: map[mapmatch.Key]Result{},
 		monitors:  map[mapmatch.Key]*Monitor{},
 		histories: map[mapmatch.Key]*History{},
@@ -130,17 +168,29 @@ func NewEngine(cfg RealtimeConfig) (*Engine, error) {
 	}, nil
 }
 
-// Ingest adds matched records to the stream buffers. Records may arrive
-// in any order; they are sorted per partition lazily at estimation time.
-// Two bounds keep memory finite however hostile the feed: records
-// already older than the trim cutoff are rejected immediately instead of
-// buffering until the next Advance, and each approach's buffer is capped
-// at Faults.MaxBufferPerKey, evicting the oldest quarter on overflow.
-// Both drop paths are counted in Health.
+// Ingest adds matched records to the stream buffers and marks the keys
+// whose records can still enter a future estimation window dirty, so the
+// next round re-identifies exactly the approaches that saw fresh data.
+// Records may arrive in any order; each buffer keeps a sorted-prefix
+// watermark so in-order arrivals (the common case) cost nothing to keep
+// sorted and out-of-order arrivals are merged lazily. Two bounds keep
+// memory finite however hostile the feed: records already older than the
+// trim cutoff are rejected immediately instead of buffering until the
+// next Advance, and each approach's buffer is capped at
+// Faults.MaxBufferPerKey, evicting the oldest quarter on overflow. Both
+// drop paths are counted in Health.
 func (e *Engine) Ingest(ms []mapmatch.Matched) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cutoff := e.now - 2*e.cfg.Window
+	// A record makes its key dirty when it can appear in a window that
+	// has not been snapshotted yet. The earliest such window belongs to
+	// the next pending round, so the threshold is nextRun-Window; before
+	// the first Advance schedules a round, every accepted record counts.
+	dirtyFrom := math.Inf(-1)
+	if e.nextRun > 0 {
+		dirtyFrom = e.nextRun - e.cfg.Window
+	}
 	maxPerKey := e.cfg.Faults.MaxBufferPerKey
 	for _, m := range ms {
 		if m.T < cutoff {
@@ -148,19 +198,69 @@ func (e *Engine) Ingest(ms []mapmatch.Matched) {
 			continue
 		}
 		k := mapmatch.Key{Light: m.Light, Approach: m.Approach}
-		if maxPerKey > 0 && len(e.buf[k]) >= maxPerKey {
-			e.evictOldestLocked(k, maxPerKey)
+		kb := e.buf[k]
+		if kb == nil {
+			kb = &keyBuffer{}
+			e.buf[k] = kb
 		}
-		e.buf[k] = append(e.buf[k], m)
+		if maxPerKey > 0 && len(kb.ms) >= maxPerKey {
+			e.evictOldestLocked(kb, maxPerKey)
+		}
+		if kb.sorted == len(kb.ms) && (len(kb.ms) == 0 || m.T >= kb.ms[len(kb.ms)-1].T) {
+			kb.sorted = len(kb.ms) + 1
+		}
+		kb.ms = append(kb.ms, m)
+		if m.T >= dirtyFrom {
+			e.dirty[k] = struct{}{}
+		}
 	}
+}
+
+// normalizeLocked restores kb's fully-sorted invariant. Only the
+// appended suffix is sorted; it is then merged with the sorted prefix,
+// preferring prefix records on equal timestamps. Prefix records all
+// arrived before suffix records and both halves preserve arrival order
+// among equals, so the result is exactly what a whole-buffer stable sort
+// would produce — at the cost of sorting only the new arrivals.
+func (e *Engine) normalizeLocked(kb *keyBuffer) {
+	if kb.sorted >= len(kb.ms) {
+		kb.sorted = len(kb.ms)
+		return
+	}
+	suffix := kb.ms[kb.sorted:]
+	sort.SliceStable(suffix, func(i, j int) bool { return suffix[i].T < suffix[j].T })
+	if kb.sorted == 0 {
+		kb.sorted = len(kb.ms)
+		return
+	}
+	prefix := kb.ms[:kb.sorted]
+	if cap(e.mergeBuf) < len(kb.ms) {
+		e.mergeBuf = make([]mapmatch.Matched, 0, len(kb.ms)*2)
+	}
+	out := e.mergeBuf[:0]
+	i, j := 0, 0
+	for i < len(prefix) && j < len(suffix) {
+		if suffix[j].T < prefix[i].T {
+			out = append(out, suffix[j])
+			j++
+		} else {
+			out = append(out, prefix[i])
+			i++
+		}
+	}
+	out = append(out, prefix[i:]...)
+	out = append(out, suffix[j:]...)
+	copy(kb.ms, out)
+	e.mergeBuf = out
+	kb.sorted = len(kb.ms)
 }
 
 // evictOldestLocked drops the oldest quarter of one key's buffer so that
 // eviction cost is amortised across many overflowing records rather than
 // paid per record.
-func (e *Engine) evictOldestLocked(k mapmatch.Key, maxPerKey int) {
-	ms := e.buf[k]
-	sort.SliceStable(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
+func (e *Engine) evictOldestLocked(kb *keyBuffer, maxPerKey int) {
+	e.normalizeLocked(kb)
+	ms := kb.ms
 	drop := len(ms) - maxPerKey*3/4
 	if drop < 1 {
 		drop = 1
@@ -169,92 +269,242 @@ func (e *Engine) evictOldestLocked(k mapmatch.Key, maxPerKey int) {
 		drop = len(ms)
 	}
 	e.droppedOverflow += int64(drop)
-	e.buf[k] = append(ms[:0:0], ms[drop:]...)
+	// Compact in place: estimation rounds work on copied views, so no
+	// reader can alias the buffer's backing array.
+	kb.ms = ms[:copy(ms, ms[drop:])]
+	kb.sorted = len(kb.ms)
 }
 
 // Advance moves the stream clock to t (seconds), running identification
 // for every due interval, and returns any newly confirmed scheduling
-// changes. Advancing backwards is a no-op.
+// changes. Advancing backwards is a no-op. Rounds are serialized by
+// estMu; e.mu is held only for the short snapshot and publish sections
+// of each round, so concurrent Ingest/Snapshot/StateOf calls proceed
+// while the pipeline crunches.
 func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
+	e.estMu.Lock()
+	defer e.estMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t <= e.now {
+		e.mu.Unlock()
 		return nil, nil
 	}
 	e.now = t
 	if e.nextRun == 0 {
 		e.nextRun = t // first estimation happens at the first Advance past data
 	}
+	runAt := e.nextRun
+	e.mu.Unlock()
 	var out []KeyedChange
-	for e.nextRun <= e.now {
-		ch, err := e.estimateLocked(e.nextRun)
+	for runAt <= t {
+		ch, err := e.estimateRound(runAt)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, ch...)
-		e.nextRun += e.cfg.Interval
+		runAt += e.cfg.Interval
+		e.mu.Lock()
+		e.nextRun = runAt
 		e.version++
+		e.mu.Unlock()
 	}
+	e.mu.Lock()
 	e.trimLocked()
+	e.mu.Unlock()
 	return out, nil
 }
 
-// estimateLocked re-identifies every approach over [at-Window, at].
-// Quarantined approaches are skipped entirely — their buffers keep
-// filling so a recovered approach re-estimates immediately on release,
-// but no pipeline work is spent on a key that keeps failing.
-func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
+// RoundStats describes one completed estimation round; see
+// SetRoundObserver.
+type RoundStats struct {
+	// At is the stream time the round estimated at (its window end).
+	At float64
+	// Dirty is the number of keys marked dirty when the round started;
+	// Recomputed is how many were actually re-identified (dirty keys with
+	// in-window data, quarantined ones excluded); Carried is how many
+	// published estimates rode along unchanged.
+	Dirty, Recomputed, Carried int
+	// Duration is the wall time of the whole round; LockHold is the time
+	// e.mu was held across the snapshot and publish sections — the only
+	// part during which readers and ingest wait.
+	Duration, LockHold time.Duration
+}
+
+// SetRoundObserver registers fn to run after every estimation round,
+// outside the engine locks. Passing nil unregisters. The serving layer
+// uses it to export round-duration and lock-hold metrics.
+func (e *Engine) SetRoundObserver(fn func(RoundStats)) {
+	e.estMu.Lock()
+	defer e.estMu.Unlock()
+	e.roundObserver = fn
+}
+
+// estimateRound runs one estimation round at stream time at: snapshot
+// the dirty keys' window views under e.mu, identify outside any lock,
+// publish under e.mu again. Quarantined approaches are skipped and stay
+// dirty — their buffers keep filling, so a recovered approach
+// re-estimates immediately on release, but no pipeline work is spent on
+// a key that keeps failing.
+func (e *Engine) estimateRound(at float64) ([]KeyedChange, error) {
+	roundStart := time.Now()
 	t0 := at - e.cfg.Window
-	view := mapmatch.Partition{}
+
+	// --- Snapshot: copy the in-window views of the keys to recompute.
+	lockStart := time.Now()
+	e.mu.Lock()
+	stats := RoundStats{At: at, Dirty: len(e.dirty)}
+	todo := make([]mapmatch.Key, 0, len(e.dirty))
+	if e.cfg.FullReestimate {
+		for k := range e.buf {
+			todo = append(todo, k)
+		}
+	} else {
+		for k := range e.dirty {
+			todo = append(todo, k)
+		}
+	}
+	type span struct {
+		k      mapmatch.Key
+		lo, hi int
+	}
+	spans := make([]span, 0, len(todo)*2)
+	recompute := make([]mapmatch.Key, 0, len(todo))
+	total := 0
 	earliest := math.Inf(1)
-	for k, ms := range e.buf {
-		if h := e.health[k]; h != nil && h.quarantinedUntil > at {
+	for _, k := range todo {
+		kb := e.buf[k]
+		if kb == nil || len(kb.ms) == 0 {
+			delete(e.dirty, k)
 			continue
 		}
-		sort.SliceStable(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
-		e.buf[k] = ms
+		if h := e.health[k]; h != nil && h.quarantinedUntil > at {
+			continue // stays dirty: recompute on release
+		}
+		e.normalizeLocked(kb)
+		ms := kb.ms
 		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= t0 })
 		hi := sort.Search(len(ms), func(i int) bool { return ms[i].T > at })
+		if hi == len(ms) {
+			// No records beyond this window: the key is clean until new
+			// data arrives. Keys with buffered future records stay dirty
+			// for the round that will see them.
+			delete(e.dirty, k)
+		}
 		if hi > lo {
-			view[k] = ms[lo:hi]
+			spans = append(spans, span{k, lo, hi})
+			recompute = append(recompute, k)
 			if ms[lo].T < earliest {
 				earliest = ms[lo].T
 			}
+			total += hi - lo
 		}
 	}
+	// Perpendicular context: enhancement mirrors the perpendicular
+	// approach's samples and the stop index reads its dwell runs, so the
+	// view must carry those records even though the perpendicular key
+	// itself is not re-identified.
+	inView := make(map[mapmatch.Key]bool, len(recompute)*2)
+	for _, s := range spans {
+		inView[s.k] = true
+	}
+	for _, k := range recompute {
+		pk := k.PerpendicularKey()
+		if inView[pk] {
+			continue
+		}
+		kb := e.buf[pk]
+		if kb == nil || len(kb.ms) == 0 {
+			continue
+		}
+		e.normalizeLocked(kb)
+		ms := kb.ms
+		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= t0 })
+		hi := sort.Search(len(ms), func(i int) bool { return ms[i].T > at })
+		if hi > lo {
+			spans = append(spans, span{pk, lo, hi})
+			inView[pk] = true
+			total += hi - lo
+		}
+	}
+	// One arena holds every copied record; views slice into it.
+	arena := make([]mapmatch.Matched, 0, total)
+	view := make(mapmatch.Partition, len(spans))
+	for _, s := range spans {
+		start := len(arena)
+		arena = append(arena, e.buf[s.k].ms[s.lo:s.hi]...)
+		view[s.k] = arena[start:len(arena):len(arena)]
+	}
+	e.mu.Unlock()
+	lockHold := time.Since(lockStart)
+
 	// Monitors only see estimates from sufficiently covered windows.
 	covered := !math.IsInf(earliest, 1) && at-earliest >= e.cfg.MinCoverage*e.cfg.Window
-	results, err := RunPipeline(view, t0, at, e.cfg.Pipeline)
+
+	// --- Identify: the expensive part, outside every engine lock.
+	sortKeys(recompute)
+	results, err := runPipelineKeys(view, recompute, t0, at, e.cfg.Pipeline)
 	if err != nil {
 		return nil, err
 	}
-	var out []KeyedChange
-	keys := make([]mapmatch.Key, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
+
+	// --- Publish: fold the results into the served state.
+	pubStart := time.Now()
+	out, err := e.publishRound(at, recompute, results, covered)
+	lockHold += time.Since(pubStart)
+
+	stats.Recomputed = len(recompute)
+	stats.Duration = time.Since(roundStart)
+	stats.LockHold = lockHold
+	redone := make(map[mapmatch.Key]bool, len(recompute))
+	for _, k := range recompute {
+		redone[k] = true
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Light != keys[j].Light {
-			return keys[i].Light < keys[j].Light
+	e.mu.RLock()
+	carried := 0
+	for k := range e.estimates {
+		if !redone[k] {
+			carried++
 		}
-		return keys[i].Approach < keys[j].Approach
-	})
+	}
+	e.mu.RUnlock()
+	stats.Carried = carried
+	if obs := e.roundObserver; obs != nil {
+		obs(stats)
+	}
+	return out, err
+}
+
+// publishRound applies one round's results under e.mu: failure ledger,
+// history correction, estimate publication and monitor feeding. A result
+// never overwrites an estimate from a newer window (version fencing) —
+// estMu makes overlapping rounds impossible today, but the fence keeps
+// publication safe even if rounds ever race.
+func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapmatch.Key]Result, covered bool) ([]KeyedChange, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []KeyedChange
 	for _, k := range keys {
 		res := results[k]
 		if res.Err != nil {
 			// Contained failure: the ledger decides whether this key is
 			// quarantined; every other approach proceeds untouched and
-			// the last good estimate stays published.
+			// the last good estimate stays published. The key is re-marked
+			// dirty so it retries next round until quarantine kicks in.
 			e.recordFailureLocked(k, at, res.Err)
+			e.dirty[k] = struct{}{}
+			continue
+		}
+		if prev, ok := e.estimates[k]; ok && prev.WindowEnd > res.WindowEnd {
 			continue
 		}
 		e.recordSuccessLocked(k, at)
 		if e.cfg.UseHistory {
 			h := e.histories[k]
 			if h == nil {
+				var err error
 				h, err = NewHistory(e.cfg.History)
 				if err != nil {
-					return nil, err
+					return out, err
 				}
 				e.histories[k] = h
 			}
@@ -269,9 +519,10 @@ func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
 		}
 		mon := e.monitors[k]
 		if mon == nil {
+			var err error
 			mon, err = NewMonitor(e.cfg.Monitor)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			e.monitors[k] = mon
 		}
@@ -285,10 +536,14 @@ func (e *Engine) estimateLocked(at float64) ([]KeyedChange, error) {
 // trimLocked drops buffered records that can no longer enter any window.
 func (e *Engine) trimLocked() {
 	cutoff := e.now - 2*e.cfg.Window
-	for k, ms := range e.buf {
+	for _, kb := range e.buf {
+		e.normalizeLocked(kb)
+		ms := kb.ms
 		lo := sort.Search(len(ms), func(i int) bool { return ms[i].T >= cutoff })
 		if lo > 0 {
-			e.buf[k] = append(ms[:0:0], ms[lo:]...)
+			// Compact in place; rounds work on copied views.
+			kb.ms = ms[:copy(ms, ms[lo:])]
+			kb.sorted = len(kb.ms)
 		}
 	}
 }

@@ -235,7 +235,7 @@ func TestEngineTrimsOldRecords(t *testing.T) {
 	eng.mu.RLock()
 	defer eng.mu.RUnlock()
 	for k, buf := range eng.buf {
-		for _, m := range buf {
+		for _, m := range buf.ms {
 			if m.T < 10000-2*cfg.Window {
 				t.Fatalf("key %v still holds record at t=%v", k, m.T)
 			}

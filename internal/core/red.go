@@ -82,15 +82,19 @@ func (c RedConfig) Validate() error {
 // passenger condition changed are dropped. Zero/negative durations
 // (single-record runs) are dropped too.
 func FilterStops(stops []StopEvent, cycle float64) []StopEvent {
-	out := make([]StopEvent, 0, len(stops))
+	return appendFilteredStops(make([]StopEvent, 0, len(stops)), stops, cycle)
+}
+
+// appendFilteredStops appends the usable stops to dst.
+func appendFilteredStops(dst []StopEvent, stops []StopEvent, cycle float64) []StopEvent {
 	for _, e := range stops {
 		d := e.Duration()
 		if d <= 0 || d > cycle || e.OccupancyChanged {
 			continue
 		}
-		out = append(out, e)
+		dst = append(dst, e)
 	}
-	return out
+	return dst
 }
 
 // IdentifyRed estimates the red-light duration from stop events given a
@@ -105,20 +109,33 @@ func FilterStops(stops []StopEvent, cycle float64) []StopEvent {
 // (0, red] and this weighting is unbiased; the sparse error counts to the
 // right of the border are subtracted as a baseline.
 func IdentifyRed(stops []StopEvent, cycle float64, cfg RedConfig) (float64, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return identifyRedSc(sc, stops, cycle, cfg)
+}
+
+// identifyRedSc is IdentifyRed with the usable-stop list, histogram bins
+// and duration list in scratch buffers.
+func identifyRedSc(sc *identifyScratch, stops []StopEvent, cycle float64, cfg RedConfig) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
 	if cycle <= 0 {
 		return 0, fmt.Errorf("core: non-positive cycle %v", cycle)
 	}
-	usable := FilterStops(stops, cycle)
+	usable := appendFilteredStops(sc.stops[:0], stops, cycle)
+	sc.stops = usable
 	if len(usable) < cfg.MinStops {
 		return 0, fmt.Errorf("%w: %d usable stops, need %d", ErrInsufficientData, len(usable), cfg.MinStops)
 	}
 	w := cfg.SampleInterval
 	nbins := int(math.Ceil(cycle / w))
-	counts := make([]float64, nbins)
-	var durations []float64
+	counts := growF64(sc.redCounts, nbins)
+	sc.redCounts = counts
+	for i := 0; i < nbins; i++ {
+		counts[i] = 0
+	}
+	durations := sc.redDurations[:0]
 	for _, e := range usable {
 		d := e.Duration()
 		if cfg.CadenceCorrection {
@@ -134,6 +151,7 @@ func IdentifyRed(stops []StopEvent, cycle float64, cfg RedConfig) (float64, erro
 		counts[i]++
 		durations = append(durations, d)
 	}
+	sc.redDurations = durations
 	maxCount := 0.0
 	for _, c := range counts {
 		if c > maxCount {

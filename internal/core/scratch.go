@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+
+	"taxilight/internal/dsp"
+	"taxilight/internal/mapmatch"
+)
+
+// identifyScratch is the per-worker reusable state behind one approach
+// identification: an FFT-plan cache keyed by grid length, the spline/grid
+// buffers of a dsp.Resampler, and every intermediate slice the pipeline
+// stages fill (windowed samples, fold bins, folded curves, red-histogram
+// counts). A steady-state estimation tick re-identifies the same window
+// shapes every round for every light; with the scratch threaded through
+// identifyOne the hot loop allocates near zero.
+//
+// A scratch is NOT safe for concurrent use; workers take one each from
+// scratchPool. All public entry points that use a scratch return either
+// scalars or freshly copied slices, so pooled buffers never escape.
+type identifyScratch struct {
+	plans     map[int]*dsp.FFTPlan // keyed by grid length
+	resampler dsp.Resampler
+
+	clean     []mapmatch.Matched // dwell-filtered records of the approach
+	perpClean []mapmatch.Matched // same, perpendicular approach
+
+	primary  []dsp.Sample // speed samples near the stop line
+	perp     []dsp.Sample // perpendicular speed samples (enhancement)
+	win      []dsp.Sample // windowed primary samples
+	cycIn    []dsp.Sample // windowed+merged IdentifyCycle input
+	enhanced []dsp.Sample // merged primary inside Enhance
+	perpMrg  []dsp.Sample // merged perpendicular inside Enhance
+	enhOut   []dsp.Sample // Enhance output
+	folded   []dsp.Sample // Superpose output
+
+	peaks []specPeak   // candidate DFT bins
+	cands []scoredCand // fold-scored candidate cycles
+
+	foldSums, foldCounts []float64 // foldScore phase-bin accumulators
+	foldBins             []int32   // per-sample phase bin memo
+
+	curveSums   []float64 // FoldedSpeedCurve accumulators
+	curveCounts []int
+	curve       []float64 // folded speed curve
+	avg         []float64 // circular moving-average output
+
+	redCounts    []float64   // red histogram bins
+	redDurations []float64   // corrected stop durations
+	stops        []StopEvent // FilterStops output
+}
+
+type specPeak struct {
+	k   int
+	mag float64
+}
+
+type scoredCand struct {
+	cycle, score float64
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &identifyScratch{plans: map[int]*dsp.FFTPlan{}} },
+}
+
+func getScratch() *identifyScratch   { return scratchPool.Get().(*identifyScratch) }
+func putScratch(sc *identifyScratch) { scratchPool.Put(sc) }
+
+// plan returns the cached FFT plan for grid length n, building it on
+// first use. The estimation tick sees one or two distinct lengths, so the
+// map stays tiny and steady-state lookups allocate nothing.
+func (sc *identifyScratch) plan(n int) (*dsp.FFTPlan, error) {
+	if p := sc.plans[n]; p != nil {
+		return p, nil
+	}
+	p, err := dsp.NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	sc.plans[n] = p
+	return p, nil
+}
+
+// growF64 returns buf resized to n elements, reusing the backing array
+// when capacity allows. Contents are unspecified.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growSamples(buf []dsp.Sample, n int) []dsp.Sample {
+	if cap(buf) < n {
+		return make([]dsp.Sample, n)
+	}
+	return buf[:n]
+}

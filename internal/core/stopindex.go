@@ -109,11 +109,15 @@ func (si *StopIndex) IsDwell(plate string, t float64) bool {
 // FilterDwellRecords returns the matched records of ms that do not fall
 // inside a flagged dwell interval.
 func (si *StopIndex) FilterDwellRecords(ms []mapmatch.Matched) []mapmatch.Matched {
-	out := make([]mapmatch.Matched, 0, len(ms))
+	return si.filterDwellRecordsInto(make([]mapmatch.Matched, 0, len(ms)), ms)
+}
+
+// filterDwellRecordsInto appends the non-dwell records of ms to dst.
+func (si *StopIndex) filterDwellRecordsInto(dst []mapmatch.Matched, ms []mapmatch.Matched) []mapmatch.Matched {
 	for _, m := range ms {
 		if !si.IsDwell(m.Rec.Plate, m.T) {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
-	return out
+	return dst
 }

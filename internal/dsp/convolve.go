@@ -61,11 +61,18 @@ func convolveFFT(x, h []float64) []float64 {
 // superposed (single-cycle) data. It returns an error if window is not in
 // [1, len(x)].
 func CircularMovingAverage(x []float64, window int) ([]float64, error) {
+	return CircularMovingAverageInto(nil, x, window)
+}
+
+// CircularMovingAverageInto is CircularMovingAverage writing into dst
+// (grown as needed and returned), so repeated scans over candidate window
+// lengths reuse one buffer. dst must not alias x.
+func CircularMovingAverageInto(dst, x []float64, window int) ([]float64, error) {
 	n := len(x)
 	if window < 1 || window > n {
 		return nil, fmt.Errorf("dsp: window %d out of range [1, %d]", window, n)
 	}
-	out := make([]float64, n)
+	out := growF(dst, n)
 	// Prefix-sum over two copies for O(n).
 	sum := 0.0
 	for i := 0; i < window; i++ {

@@ -217,6 +217,22 @@ func Detrend(x []float64) []float64 {
 	return out
 }
 
+// DetrendInPlace subtracts the mean from x in place — the allocation-free
+// variant for callers that own the buffer (e.g. a Resampler grid).
+func DetrendInPlace(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	m := 0.0
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	for i := range x {
+		x[i] -= m
+	}
+}
+
 // HannWindow multiplies x by a Hann window in a new slice, reducing
 // spectral leakage when the window length is not an integer number of
 // cycles.

@@ -233,7 +233,7 @@ func BenchmarkDFTNaive_1800(b *testing.B) {
 }
 
 func TestFFTPlanMatchesFFTReal(t *testing.T) {
-	for _, n := range []int{8, 64, 90, 1800, 3600} {
+	for _, n := range []int{1, 2, 3, 5, 8, 64, 90, 1800, 1801, 3600} {
 		plan, err := NewFFTPlan(n)
 		if err != nil {
 			t.Fatal(err)

@@ -29,7 +29,21 @@ func MergeDuplicateTimes(s []Sample) []Sample {
 	if len(s) == 0 {
 		return nil
 	}
-	out := make([]Sample, 0, len(s))
+	return mergeDuplicateTimesTo(make([]Sample, 0, len(s)), s)
+}
+
+// MergeDuplicateTimesInPlace is MergeDuplicateTimes writing the merged
+// samples into s's own backing array, for callers that own s and reuse it
+// across rounds. Safe because each merged group is written at or before
+// the position of its first source sample.
+func MergeDuplicateTimesInPlace(s []Sample) []Sample {
+	if len(s) == 0 {
+		return nil
+	}
+	return mergeDuplicateTimesTo(s[:0], s)
+}
+
+func mergeDuplicateTimesTo(out, s []Sample) []Sample {
 	curT := float64(int64(s[0].T))
 	sum, n := s[0].V, 1
 	for _, p := range s[1:] {
@@ -46,13 +60,25 @@ func MergeDuplicateTimes(s []Sample) []Sample {
 	return out
 }
 
+// growF returns buf resized to n values, reusing its backing array when
+// the capacity allows. Contents are unspecified.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // CubicSpline is a natural cubic spline through a set of strictly
 // increasing knots. It matches the paper's choice of spline interpolation
-// for reconstructing a smooth speed signal from sparse samples.
+// for reconstructing a smooth speed signal from sparse samples. A zero
+// CubicSpline may be refitted repeatedly with Fit, reusing its buffers.
 type CubicSpline struct {
 	xs, ys []float64
 	c2, c3 []float64 // second/third-order coefficients per interval
 	c1     []float64
+	// fit scratch, reused across Fit calls
+	h, m, diag, upper, rhs []float64
 }
 
 // NewCubicSpline fits a natural cubic spline to the given samples. Samples
@@ -60,39 +86,53 @@ type CubicSpline struct {
 // SortSamples plus MergeDuplicateTimes first). At least two points are
 // required.
 func NewCubicSpline(pts []Sample) (*CubicSpline, error) {
+	s := &CubicSpline{}
+	if err := s.Fit(pts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Fit refits the spline to pts under the same contract as NewCubicSpline,
+// reusing the spline's internal buffers — the zero-allocation path for
+// callers that resample fresh windows every round.
+func (s *CubicSpline) Fit(pts []Sample) error {
 	n := len(pts)
 	if n < 2 {
-		return nil, ErrInsufficientData
+		return ErrInsufficientData
 	}
-	xs := make([]float64, n)
-	ys := make([]float64, n)
+	s.xs = growF(s.xs, n)
+	s.ys = growF(s.ys, n)
 	for i, p := range pts {
-		xs[i] = p.T
-		ys[i] = p.V
-		if i > 0 && xs[i] <= xs[i-1] {
-			return nil, fmt.Errorf("dsp: non-increasing knot at index %d (%v after %v)", i, xs[i], xs[i-1])
+		s.xs[i] = p.T
+		s.ys[i] = p.V
+		if i > 0 && s.xs[i] <= s.xs[i-1] {
+			return fmt.Errorf("dsp: non-increasing knot at index %d (%v after %v)", i, s.xs[i], s.xs[i-1])
 		}
 	}
-	s := &CubicSpline{xs: xs, ys: ys}
 	s.fit()
-	return s, nil
+	return nil
 }
 
 // fit solves the tridiagonal system for the natural spline second
 // derivatives via the Thomas algorithm.
 func (s *CubicSpline) fit() {
 	n := len(s.xs)
-	h := make([]float64, n-1)
+	h := growF(s.h, n-1)
+	s.h = h
 	for i := 0; i < n-1; i++ {
 		h[i] = s.xs[i+1] - s.xs[i]
 	}
 	// Second derivatives m[0..n-1]; natural: m[0] = m[n-1] = 0.
-	m := make([]float64, n)
+	m := growF(s.m, n)
+	s.m = m
+	m[0], m[n-1] = 0, 0
 	if n > 2 {
 		// Tridiagonal system for interior second derivatives.
-		diag := make([]float64, n-2)
-		upper := make([]float64, n-2)
-		rhs := make([]float64, n-2)
+		diag := growF(s.diag, n-2)
+		upper := growF(s.upper, n-2)
+		rhs := growF(s.rhs, n-2)
+		s.diag, s.upper, s.rhs = diag, upper, rhs
 		for i := 1; i < n-1; i++ {
 			diag[i-1] = 2 * (h[i-1] + h[i])
 			if i < n-2 {
@@ -114,9 +154,9 @@ func (s *CubicSpline) fit() {
 			m[i+1] /= diag[i]
 		}
 	}
-	s.c1 = make([]float64, n-1)
-	s.c2 = make([]float64, n-1)
-	s.c3 = make([]float64, n-1)
+	s.c1 = growF(s.c1, n-1)
+	s.c2 = growF(s.c2, n-1)
+	s.c3 = growF(s.c3, n-1)
 	for i := 0; i < n-1; i++ {
 		s.c1[i] = (s.ys[i+1]-s.ys[i])/h[i] - h[i]*(2*m[i]+m[i+1])/6
 		s.c2[i] = m[i] / 2
@@ -165,7 +205,11 @@ func ResampleLinear(pts []Sample, t0, t1 float64) ([]float64, error) {
 	if len(pts) < 2 {
 		return nil, ErrInsufficientData
 	}
-	at := func(t float64) float64 {
+	return sampleGrid(linearAt(pts), t0, t1)
+}
+
+func linearAt(pts []Sample) func(float64) float64 {
+	return func(t float64) float64 {
 		i := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t })
 		switch {
 		case i == 0:
@@ -180,7 +224,6 @@ func ResampleLinear(pts []Sample, t0, t1 float64) ([]float64, error) {
 		f := (t - a.T) / (b.T - a.T)
 		return a.V + f*(b.V-a.V)
 	}
-	return sampleGrid(at, t0, t1)
 }
 
 // ResampleHold is zero-order hold resampling (last value carried forward),
@@ -189,14 +232,17 @@ func ResampleHold(pts []Sample, t0, t1 float64) ([]float64, error) {
 	if len(pts) < 1 {
 		return nil, ErrInsufficientData
 	}
-	at := func(t float64) float64 {
+	return sampleGrid(holdAt(pts), t0, t1)
+}
+
+func holdAt(pts []Sample) func(float64) float64 {
+	return func(t float64) float64 {
 		i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
 		if i == 0 {
 			return pts[0].V
 		}
 		return pts[i-1].V
 	}
-	return sampleGrid(at, t0, t1)
 }
 
 func sampleGrid(at func(float64) float64, t0, t1 float64) ([]float64, error) {
@@ -209,4 +255,51 @@ func sampleGrid(at func(float64) float64, t0, t1 float64) ([]float64, error) {
 		out[i] = at(t0 + float64(i))
 	}
 	return out, nil
+}
+
+// Resampler owns the grid and spline-fit buffers for repeated
+// irregular-to-regular resampling rounds, so a steady-state estimation
+// tick reuses one allocation set per worker instead of re-allocating per
+// approach. The slice returned by each method is owned by the Resampler
+// and overwritten by the next call. Not safe for concurrent use.
+type Resampler struct {
+	spline CubicSpline
+	grid   []float64
+}
+
+// Spline resamples pts onto the 1-unit grid spanning [t0, t1] with a
+// natural cubic spline, under the same contract as ResampleSpline.
+func (r *Resampler) Spline(pts []Sample, t0, t1 float64) ([]float64, error) {
+	if err := r.spline.Fit(pts); err != nil {
+		return nil, err
+	}
+	return r.sampleGrid(r.spline.At, t0, t1)
+}
+
+// Linear is the reusable-buffer counterpart of ResampleLinear.
+func (r *Resampler) Linear(pts []Sample, t0, t1 float64) ([]float64, error) {
+	if len(pts) < 2 {
+		return nil, ErrInsufficientData
+	}
+	return r.sampleGrid(linearAt(pts), t0, t1)
+}
+
+// Hold is the reusable-buffer counterpart of ResampleHold.
+func (r *Resampler) Hold(pts []Sample, t0, t1 float64) ([]float64, error) {
+	if len(pts) < 1 {
+		return nil, ErrInsufficientData
+	}
+	return r.sampleGrid(holdAt(pts), t0, t1)
+}
+
+func (r *Resampler) sampleGrid(at func(float64) float64, t0, t1 float64) ([]float64, error) {
+	if t1 < t0 {
+		return nil, fmt.Errorf("dsp: inverted grid [%v, %v]", t0, t1)
+	}
+	n := int(t1-t0) + 1
+	r.grid = growF(r.grid, n)
+	for i := 0; i < n; i++ {
+		r.grid[i] = at(t0 + float64(i))
+	}
+	return r.grid, nil
 }

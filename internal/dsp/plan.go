@@ -2,49 +2,35 @@ package dsp
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 )
 
-// FFTPlan owns the scratch buffers for repeated transforms of one fixed
-// length, eliminating the per-call allocations of FFT/FFTReal. The
-// continuous-monitoring loop transforms the same 1800- or 3600-sample
-// window every five minutes for every light in the city; with a plan the
-// hot loop allocates nothing.
-//
-// A plan is NOT safe for concurrent use; give each worker its own.
-type FFTPlan struct {
+// cplan is a reusable in-place forward DFT of one fixed complex length:
+// radix-2 when the length is a power of two, Bluestein otherwise. It is
+// the inner transform behind FFTPlan's real-input packing.
+type cplan struct {
 	n       int
 	pow2    bool
-	buf     []complex128
-	mags    []float64
 	chirp   []complex128 // Bluestein chirp for non-power-of-two sizes
-	bwork   []complex128 // Bluestein convolution work buffers
-	bfilter []complex128
+	bwork   []complex128 // Bluestein convolution work buffer
+	bfilter []complex128 // precomputed FFT of the chirp filter
 	m       int
 }
 
-// NewFFTPlan prepares a plan for transforms of length n.
-func NewFFTPlan(n int) (*FFTPlan, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("dsp: plan length %d < 1", n)
-	}
-	p := &FFTPlan{n: n, pow2: n&(n-1) == 0}
-	p.buf = make([]complex128, n)
-	p.mags = make([]float64, n)
+func newCplan(n int) *cplan {
+	p := &cplan{n: n, pow2: n&(n-1) == 0}
 	if !p.pow2 {
 		p.chirp = make([]complex128, n)
 		for k := 0; k < n; k++ {
+			// k² mod 2n keeps the chirp angle exact for large k.
 			k2 := (int64(k) * int64(k)) % int64(2*n)
-			ang := -3.141592653589793 * float64(k2) / float64(n)
+			ang := -math.Pi * float64(k2) / float64(n)
 			p.chirp[k] = cmplx.Exp(complex(0, ang))
 		}
 		p.m = nextPow2(2*n - 1)
 		p.bwork = make([]complex128, p.m)
 		p.bfilter = make([]complex128, p.m)
-		// Precompute the FFT of the chirp filter once.
-		for i := range p.bfilter {
-			p.bfilter[i] = 0
-		}
 		for k := 0; k < n; k++ {
 			p.bfilter[k] = cmplx.Conj(p.chirp[k])
 		}
@@ -52,6 +38,71 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 			p.bfilter[p.m-k] = cmplx.Conj(p.chirp[k])
 		}
 		fftRadix2(p.bfilter, false)
+	}
+	return p
+}
+
+// transform computes the forward DFT of x (length n) in place.
+func (p *cplan) transform(x []complex128) {
+	if p.pow2 {
+		fftRadix2(x, false)
+		return
+	}
+	for i := range p.bwork {
+		p.bwork[i] = 0
+	}
+	for k := 0; k < p.n; k++ {
+		p.bwork[k] = x[k] * p.chirp[k]
+	}
+	fftRadix2(p.bwork, false)
+	for i := range p.bwork {
+		p.bwork[i] *= p.bfilter[i]
+	}
+	fftRadix2(p.bwork, true)
+	invM := complex(1/float64(p.m), 0)
+	for k := 0; k < p.n; k++ {
+		x[k] = p.bwork[k] * invM * p.chirp[k]
+	}
+}
+
+// FFTPlan owns the scratch buffers for repeated transforms of one fixed
+// length, eliminating the per-call allocations of FFT/FFTReal. The
+// continuous-monitoring loop transforms the same 1800- or 3600-sample
+// window every five minutes for every light in the city; with a plan the
+// hot loop allocates nothing.
+//
+// Even lengths additionally use real-input packing: the length-N real
+// signal is packed into N/2 complex points, transformed by one half-size
+// complex FFT, and unpacked with precomputed twiddles — roughly halving
+// the transform work of the dominant even-window case.
+//
+// A plan is NOT safe for concurrent use; give each worker its own.
+type FFTPlan struct {
+	n     int
+	buf   []complex128 // length n (odd) or n/2 (even, packed input)
+	mags  []float64
+	tw    []complex128 // unpack twiddles e^{-2πik/n}; nil for odd n
+	inner *cplan
+}
+
+// NewFFTPlan prepares a plan for transforms of length n.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: plan length %d < 1", n)
+	}
+	p := &FFTPlan{n: n, mags: make([]float64, n)}
+	if n%2 == 0 {
+		h := n / 2
+		p.buf = make([]complex128, h)
+		p.tw = make([]complex128, h+1)
+		for k := 0; k <= h; k++ {
+			ang := -2 * math.Pi * float64(k) / float64(n)
+			p.tw[k] = cmplx.Exp(complex(0, ang))
+		}
+		p.inner = newCplan(h)
+	} else {
+		p.buf = make([]complex128, n)
+		p.inner = newCplan(n)
 	}
 	return p, nil
 }
@@ -66,31 +117,39 @@ func (p *FFTPlan) MagnitudesReal(x []float64) ([]float64, error) {
 	if len(x) != p.n {
 		return nil, fmt.Errorf("dsp: plan built for %d samples, got %d", p.n, len(x))
 	}
-	if p.pow2 {
-		for i, v := range x {
-			p.buf[i] = complex(v, 0)
+	if p.tw != nil {
+		// Packed real transform: z[i] = x[2i] + i·x[2i+1], one half-size
+		// complex FFT, then split Z into the spectra of the even/odd
+		// subsequences (E[k] = (Z[k]+conj(Z[h-k]))/2,
+		// O[k] = -i(Z[k]-conj(Z[h-k]))/2) and recombine
+		// X[k] = E[k] + e^{-2πik/n}·O[k]. Real input means the upper half
+		// of the spectrum mirrors the lower, so only magnitudes for
+		// k ≤ n/2 are computed and the rest copied.
+		h := p.n / 2
+		for i := 0; i < h; i++ {
+			p.buf[i] = complex(x[2*i], x[2*i+1])
 		}
-		fftRadix2(p.buf, false)
-		for i, v := range p.buf {
-			p.mags[i] = cmplx.Abs(v)
+		p.inner.transform(p.buf)
+		z0 := p.buf[0]
+		p.mags[0] = math.Abs(real(z0) + imag(z0))
+		p.mags[h] = math.Abs(real(z0) - imag(z0))
+		for k := 1; k < h; k++ {
+			zk := p.buf[k]
+			zc := cmplx.Conj(p.buf[h-k])
+			e := (zk + zc) * complex(0.5, 0)
+			o := (zk - zc) * complex(0, -0.5)
+			m := cmplx.Abs(e + p.tw[k]*o)
+			p.mags[k] = m
+			p.mags[p.n-k] = m
 		}
 		return p.mags, nil
 	}
-	// Bluestein with preallocated buffers and precomputed filter FFT.
-	for i := range p.bwork {
-		p.bwork[i] = 0
+	for i, v := range x {
+		p.buf[i] = complex(v, 0)
 	}
-	for k := 0; k < p.n; k++ {
-		p.bwork[k] = complex(x[k], 0) * p.chirp[k]
-	}
-	fftRadix2(p.bwork, false)
-	for i := range p.bwork {
-		p.bwork[i] *= p.bfilter[i]
-	}
-	fftRadix2(p.bwork, true)
-	invM := complex(1/float64(p.m), 0)
-	for k := 0; k < p.n; k++ {
-		p.mags[k] = cmplx.Abs(p.bwork[k] * invM * p.chirp[k])
+	p.inner.transform(p.buf)
+	for i, v := range p.buf {
+		p.mags[i] = cmplx.Abs(v)
 	}
 	return p.mags, nil
 }

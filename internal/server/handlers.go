@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +44,15 @@ func (s *Server) Handler() http.Handler {
 			panic("injected by /debug/panic")
 		}))
 		mux.HandleFunc("GET /debug/block", s.guard(false, s.handleDebugBlock))
+		// Live profiling: the standard pprof handlers, reachable only when
+		// debug endpoints are enabled. They bypass the in-flight limiter
+		// (a profile of an overloaded daemon is exactly when you want one)
+		// but not the panic recovery.
+		mux.HandleFunc("GET /debug/pprof/", s.guard(true, pprof.Index))
+		mux.HandleFunc("GET /debug/pprof/cmdline", s.guard(true, pprof.Cmdline))
+		mux.HandleFunc("GET /debug/pprof/profile", s.guard(true, pprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", s.guard(true, pprof.Symbol))
+		mux.HandleFunc("GET /debug/pprof/trace", s.guard(true, pprof.Trace))
 	}
 	return mux
 }
@@ -614,6 +624,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintln(w, "# TYPE lightd_estimate_age_seconds histogram")
 	m.estimateAge.write(w, "lightd_estimate_age_seconds", "")
+
+	fmt.Fprintln(w, "# TYPE lightd_estimate_round_seconds histogram")
+	m.estimateRound.write(w, "lightd_estimate_round_seconds", "")
+	fmt.Fprintln(w, "# TYPE lightd_estimate_lock_hold_seconds histogram")
+	m.estimateLockHold.write(w, "lightd_estimate_lock_hold_seconds", "")
+	fmt.Fprintln(w, "# TYPE lightd_estimate_keys_total counter")
+	writeSample(w, "lightd_estimate_keys_total", `outcome="recomputed"`, float64(m.keysRecomputed.Load()))
+	writeSample(w, "lightd_estimate_keys_total", `outcome="carried"`, float64(m.keysCarried.Load()))
 
 	if st := s.cfg.Store; st != nil {
 		ss := st.Stats()

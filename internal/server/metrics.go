@@ -105,6 +105,16 @@ var ageBuckets = []float64{60, 150, 300, 450, 600, 900, 1800, 3600}
 // fsync (up to hundreds of milliseconds on contended disks).
 var walBuckets = []float64{.00001, .000025, .00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25}
 
+// roundBuckets covers estimation-round wall time: a near-empty dirty set
+// finishes in microseconds, a dense full recompute can take seconds.
+var roundBuckets = []float64{.0001, .0005, .001, .005, .01, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// lockHoldBuckets covers the engine-lock hold time of a round's snapshot
+// and publish sections — the only window during which readers and ingest
+// wait. These must stay far below roundBuckets, which is the point of the
+// non-blocking design.
+var lockHoldBuckets = []float64{.000005, .00001, .000025, .00005, .0001, .00025, .0005, .001, .0025, .005, .01, .05}
+
 // metrics is the daemon-wide metric set. Per-endpoint and per-class
 // series are pre-registered so every scrape shows the full matrix from
 // the first request on.
@@ -121,6 +131,14 @@ type metrics struct {
 	scanLines   counter
 
 	estimateAge *histogram // observed at every snapshot rebuild
+
+	// Incremental-estimation series, fed by the engines' round observer:
+	// wall time per round, engine-lock hold per round, and how many
+	// approaches each round recomputed vs carried forward unchanged.
+	estimateRound    *histogram
+	estimateLockHold *histogram
+	keysRecomputed   counter
+	keysCarried      counter
 
 	// Durable-store series: queue accounting (appended vs dropped at
 	// the bounded persistence queue), failures, and WAL latency split
@@ -150,11 +168,13 @@ type metrics struct {
 
 func newMetrics(endpoints []string) *metrics {
 	m := &metrics{
-		skipByClass:  make(map[string]int64),
-		estimateAge:  newHistogram(ageBuckets...),
-		walAppendLat: newHistogram(walBuckets...),
-		walFsyncLat:  newHistogram(walBuckets...),
-		latencies:    make(map[string]*histogram, len(endpoints)),
+		skipByClass:      make(map[string]int64),
+		estimateAge:      newHistogram(ageBuckets...),
+		estimateRound:    newHistogram(roundBuckets...),
+		estimateLockHold: newHistogram(lockHoldBuckets...),
+		walAppendLat:     newHistogram(walBuckets...),
+		walFsyncLat:      newHistogram(walBuckets...),
+		latencies:        make(map[string]*histogram, len(endpoints)),
 	}
 	for _, c := range trace.Classes() {
 		m.skipByClass[c] = 0

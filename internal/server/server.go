@@ -181,6 +181,12 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		eng.SetRoundObserver(func(st core.RoundStats) {
+			s.met.estimateRound.Observe(st.Duration.Seconds())
+			s.met.estimateLockHold.Observe(st.LockHold.Seconds())
+			s.met.keysRecomputed.Add(int64(st.Recomputed))
+			s.met.keysCarried.Add(int64(st.Carried))
+		})
 		s.shards = append(s.shards, &shard{
 			id:            i,
 			engine:        eng,
