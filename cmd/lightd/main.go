@@ -19,6 +19,8 @@
 //	lightd -in trace.csv.gz -network net.txt -listen :8080
 //	lightd -in tcp://:7001              # accept push feeds
 //	lightd -in "east=tcp+dial://feed-e:7001,west=tcp+dial://feed-w:7001"
+//	lightd -node-id a -cluster-peers "a=http://:8080,b=http://:8081,c=http://:8082" \
+//	       -store-dir /var/lib/lightd-a   # one member of a 3-node cluster
 //
 // Every source runs supervised: dial-out sources reconnect with
 // exponential backoff and dedup the replay (no double-ingest), listen
@@ -33,9 +35,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"taxilight/internal/cluster"
 	"taxilight/internal/experiments"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/roadnet"
@@ -70,6 +74,10 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to checkpoint engine state into the store")
 	retention := flag.Duration("retention", 0, "drop WAL segments older than this stream age (0 keeps all ages)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "drop oldest WAL segments while the store exceeds this size (0 = no cap)")
+	nodeID := flag.String("node-id", "", "this node's name in a lightd cluster; empty runs single-node")
+	clusterPeers := flag.String("cluster-peers", "", `seed members as "id=http://host:port,..." including this node; requires -node-id and -store-dir`)
+	replication := flag.Int("replication", 2, "cluster replication factor (primary included)")
+	heartbeat := flag.Duration("heartbeat-interval", 500*time.Millisecond, "cluster gossip cadence; a peer silent for 4x this is declared dead")
 	flag.Parse()
 
 	// Fail fast on nonsense flags: a mistyped shard count or bad-line
@@ -140,6 +148,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Cluster mode: the node must be built before srv.Start — it installs
+	// the ingest-filter and health hooks — and needs the store, because
+	// replication ships WAL segments.
+	var node *cluster.Node
+	if *nodeID != "" || *clusterPeers != "" {
+		if *nodeID == "" || *clusterPeers == "" {
+			fatal(fmt.Errorf("cluster mode needs both -node-id and -cluster-peers"))
+		}
+		if st == nil {
+			fatal(fmt.Errorf("cluster mode needs -store-dir: replication ships WAL segments"))
+		}
+		peers, err := parsePeers(*clusterPeers)
+		if err != nil {
+			fatal(err)
+		}
+		node, err = cluster.NewNode(srv, st, cluster.Config{
+			NodeID:            *nodeID,
+			Peers:             peers,
+			ReplicationFactor: *replication,
+			HeartbeatInterval: *heartbeat,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if st != nil {
 		recovered, replayed := st.RecoveredState()
 		if n := srv.Restore(recovered); n > 0 {
@@ -165,6 +200,11 @@ func main() {
 	}()
 
 	srv.Start()
+	if node != nil {
+		node.Start()
+		fmt.Fprintf(os.Stderr, "lightd: cluster node %q, %d seed members, replication %d\n",
+			*nodeID, len(strings.Split(*clusterPeers, ",")), *replication)
+	}
 	fmt.Fprintf(os.Stderr, "lightd: %d shards, network %d nodes / %d segments, serving on %s, ingesting %s\n",
 		cfg.Shards, net.NumNodes(), net.NumSegments(), *listen, *in)
 
@@ -180,14 +220,26 @@ func main() {
 		}
 	}()
 
-	if err := srv.ListenAndServe(ctx, *listen); err != nil && ctx.Err() == nil {
-		fatal(err)
+	serveErr := error(nil)
+	if node != nil {
+		serveErr = srv.ServeHandler(ctx, *listen, node.Handler())
+	} else {
+		serveErr = srv.ListenAndServe(ctx, *listen)
+	}
+	if serveErr != nil && ctx.Err() == nil {
+		fatal(serveErr)
 	}
 
 	// Graceful shutdown: the HTTP side is already drained; now drain the
 	// ingest side — bounded by -drain-timeout so a wedged source can only
 	// delay exit, not prevent it — and flush the final accounting.
 	cancel()
+	if node != nil {
+		// Announce departure so peers promote immediately instead of
+		// waiting out the failure detector, then stop the loops.
+		node.Leave()
+		node.Stop()
+	}
 	drained := make(chan struct{})
 	go func() {
 		srv.StopIngest()
@@ -242,6 +294,29 @@ func loadNetwork(netFile, osmFile string, rows, cols int, seed int64) (*roadnet.
 	gcfg.Seed = seed
 	gcfg.CycleMin, gcfg.CycleMax = 80, 140
 	return roadnet.GenerateGrid(gcfg)
+}
+
+// parsePeers parses the -cluster-peers "id=url,id=url" seed list.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf(`-cluster-peers entry %q: want "id=http://host:port"`, part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-cluster-peers repeats node id %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-cluster-peers is empty")
+	}
+	return peers, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,500 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"taxilight/internal/core"
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/server"
+	"taxilight/internal/store"
+)
+
+const (
+	// healthHeader mirrors the server's degraded-answer header.
+	healthHeader = "X-Taxilight-Health"
+	// forwardedHeader marks an intra-cluster hop: the receiving node
+	// serves locally instead of routing again, so divergent ring views
+	// can never bounce a request in a loop.
+	forwardedHeader = "X-Taxilight-Forwarded"
+)
+
+// Handler returns the cluster-facing HTTP surface: the public /v1/state,
+// /v1/history and /v1/snapshot routes with ring routing layered on top
+// of the server's handlers, the intra-cluster /cluster/v1/* endpoints,
+// and a passthrough for everything else (/healthz, /metrics, /debug/*).
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/state/{light}/{approach}", n.routeState)
+	mux.HandleFunc("GET /v1/history/{light}/{approach}", n.routeHistory)
+	mux.HandleFunc("GET /v1/snapshot", n.routeSnapshot)
+	mux.HandleFunc("POST /cluster/v1/gossip", n.handleGossip)
+	mux.HandleFunc("GET /cluster/v1/wal", n.handleWAL)
+	mux.HandleFunc("GET /cluster/v1/ckpt", n.handleCkpt)
+	mux.HandleFunc("POST /cluster/v1/notify", n.handleNotify)
+	mux.Handle("/", n.inner)
+	return mux
+}
+
+// errorDoc mirrors the server's uniform error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// routeState routes one per-key query along the ring: serve locally
+// when this node is an alive owner, otherwise forward to the owners in
+// ring order. If every live owner is unreachable the node answers from
+// its own replica — a degraded 200 marked "stale" beats a 502 during a
+// failover window.
+func (n *Node) routeState(w http.ResponseWriter, r *http.Request) {
+	key, err := server.ParseStateKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		n.serveLocalState(w, r, key)
+		return
+	}
+	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Alive) {
+		if o == n.cfg.NodeID {
+			n.serveLocalState(w, r, key)
+			return
+		}
+		if n.forward(w, r, o) == nil {
+			return
+		}
+	}
+	if rec, ok := n.replicaRecord(key); ok {
+		n.writeReplicaState(w, r, key, rec)
+		return
+	}
+	n.serveLocalState(w, r, key)
+}
+
+// serveLocalState answers from this node: the engine when it has the
+// key (or for as-of queries, which read the local store), else the
+// newest replicated record, else the inner handler's own 404/health
+// answer.
+func (n *Node) serveLocalState(w http.ResponseWriter, r *http.Request, key mapmatch.Key) {
+	if _, ok := n.srv.EstimateFor(key); ok || r.URL.Query().Get("asof") != "" {
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	if rec, ok := n.replicaRecord(key); ok {
+		n.writeReplicaState(w, r, key, rec)
+		return
+	}
+	n.inner.ServeHTTP(w, r)
+}
+
+// stateDoc mirrors the server's /v1/state body for replica-served
+// answers.
+type stateDoc struct {
+	Light            int64                    `json:"light"`
+	Approach         string                   `json:"approach"`
+	T                float64                  `json:"t_s"`
+	State            string                   `json:"state"`
+	CountdownSeconds *float64                 `json:"countdown_s,omitempty"`
+	NextState        string                   `json:"next_state,omitempty"`
+	Health           string                   `json:"health"`
+	Estimate         *server.SnapshotApproach `json:"estimate,omitempty"`
+}
+
+// writeReplicaState synthesizes a /v1/state answer from a replicated
+// record — always marked "stale": the estimate is real, but it was
+// computed by a node we can no longer reach.
+func (n *Node) writeReplicaState(w http.ResponseWriter, r *http.Request, k mapmatch.Key, rec store.Record) {
+	res := rec.Result()
+	t := n.srv.StreamNow()
+	if q := r.URL.Query().Get("t"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("bad t %q", q)})
+			return
+		}
+		t = v
+	}
+	est := core.Estimate{Result: res, Age: t - res.WindowEnd}
+	aj := server.ApproachFromEstimate(k, est)
+	aj.Health = "stale"
+	doc := stateDoc{
+		Light:    int64(k.Light),
+		Approach: k.Approach.String(),
+		T:        t,
+		State:    "unknown",
+		Health:   "stale",
+		Estimate: &aj,
+	}
+	if state, until, ok := res.PhaseAt(t); ok {
+		doc.State = strings.ToLower(state.String())
+		doc.CountdownSeconds = &until
+		next := lights.Red
+		if state == lights.Red {
+			next = lights.Green
+		}
+		doc.NextState = strings.ToLower(next.String())
+	}
+	w.Header().Set(healthHeader, "stale")
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// routeHistory routes a history query to the key's current primary —
+// history lives in the primary's store, replicas keep only the newest
+// estimate per key.
+func (n *Node) routeHistory(w http.ResponseWriter, r *http.Request) {
+	key, err := server.ParseStateKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Alive) {
+		if o == n.cfg.NodeID {
+			n.inner.ServeHTTP(w, r)
+			return
+		}
+		if n.forward(w, r, o) == nil {
+			return
+		}
+	}
+	writeJSON(w, http.StatusBadGateway, errorDoc{Error: "no reachable owner for this key"})
+}
+
+// forward proxies one GET to a peer, marking the hop so the peer serves
+// locally. It writes nothing on transport errors or peer 5xx, so the
+// caller can try the next owner.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, peerID string) error {
+	base := n.mem.URL(peerID)
+	if base == "" {
+		return fmt.Errorf("cluster: no URL for node %s", peerID)
+	}
+	u := base + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(forwardedHeader, "1")
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.met.forwardErrors.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= http.StatusInternalServerError {
+		io.Copy(io.Discard, resp.Body)
+		n.met.forwardErrors.Add(1)
+		return fmt.Errorf("cluster: node %s answered %s", peerID, resp.Status)
+	}
+	// Buffer the whole body before committing the response: a peer dying
+	// mid-stream must degrade to the next owner or the local replica, not
+	// surface as a torn 200 to the client.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		n.met.forwardErrors.Add(1)
+		return fmt.Errorf("cluster: node %s body: %w", peerID, err)
+	}
+	for _, h := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After", healthHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	n.met.forwards.Add(1)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	return nil
+}
+
+// routeSnapshot scatter-gathers the whole-city snapshot: this node's
+// local contribution merged with every alive peer's, newest estimate
+// per key, under one merged ETag and the worst health across the merged
+// keys.
+func (n *Node) routeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(forwardedHeader) != "" {
+		doc := n.localSnapDoc()
+		writeSnapshot(w, r, doc)
+		return
+	}
+	docs := []server.SnapshotDoc{n.localSnapDoc()}
+	for _, mb := range n.mem.View() {
+		if mb.ID == n.cfg.NodeID || mb.State != StateAlive || mb.URL == "" {
+			continue
+		}
+		doc, err := n.fetchSnap(r, mb.URL)
+		if err != nil {
+			// Unreachable peer: its keys are covered by whatever replicas
+			// the reachable nodes hold — best effort, never a 5xx.
+			n.met.forwardErrors.Add(1)
+			continue
+		}
+		n.met.forwards.Add(1)
+		docs = append(docs, doc)
+	}
+	writeSnapshot(w, r, mergeSnapshots(docs))
+}
+
+// fetchSnap pulls one peer's local snapshot contribution.
+func (n *Node) fetchSnap(r *http.Request, base string) (server.SnapshotDoc, error) {
+	var doc server.SnapshotDoc
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/v1/snapshot", nil)
+	if err != nil {
+		return doc, err
+	}
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return doc, fmt.Errorf("cluster: snapshot fetch: %s", resp.Status)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&doc)
+	return doc, err
+}
+
+// localSnapDoc is this node's snapshot contribution: the server's own
+// cached snapshot (health overrides already applied) plus replicated
+// records for keys this node now primaries but has not yet promoted —
+// during the failover window the city view must not lose a dead node's
+// approaches.
+func (n *Node) localSnapDoc() server.SnapshotDoc {
+	_, body, _ := n.srv.SnapshotBytes()
+	var doc server.SnapshotDoc
+	_ = json.Unmarshal(body, &doc)
+	present := make(map[snapKey]bool, len(doc.Approaches))
+	for _, aj := range doc.Approaches {
+		present[snapKey{aj.Light, aj.Approach}] = true
+	}
+	ring := n.ringNow()
+	now := n.srv.StreamNow()
+	n.mu.Lock()
+	replicas := make([]*peerReplica, 0, len(n.replicas))
+	for _, pr := range n.replicas {
+		replicas = append(replicas, pr)
+	}
+	n.mu.Unlock()
+	adopted := make(map[snapKey]server.SnapshotApproach)
+	for _, pr := range replicas {
+		pr.mu.Lock()
+		for k, rec := range pr.recs {
+			sk := snapKey{int64(k.Light), k.Approach.String()}
+			if present[sk] {
+				continue
+			}
+			if ring.Primary(k, n.mem.Alive) != n.cfg.NodeID {
+				continue
+			}
+			if old, ok := adopted[sk]; ok && old.WindowEnd >= rec.WindowEnd {
+				continue
+			}
+			aj := server.ApproachFromEstimate(k, core.Estimate{Result: rec.Result(), Age: now - rec.WindowEnd})
+			aj.Health = "stale"
+			adopted[sk] = aj
+		}
+		pr.mu.Unlock()
+	}
+	for _, aj := range adopted {
+		doc.Approaches = append(doc.Approaches, aj)
+	}
+	sortSnapshot(&doc)
+	return doc
+}
+
+// snapKey identifies one approach across snapshot documents.
+type snapKey struct {
+	Light    int64
+	Approach string
+}
+
+// mergeSnapshots folds per-node snapshot documents into one city view,
+// keeping the newest estimate per key.
+func mergeSnapshots(docs []server.SnapshotDoc) server.SnapshotDoc {
+	merged := server.SnapshotDoc{Approaches: []server.SnapshotApproach{}}
+	byKey := make(map[snapKey]server.SnapshotApproach)
+	for _, doc := range docs {
+		if doc.Now > merged.Now {
+			merged.Now = doc.Now
+		}
+		for _, aj := range doc.Approaches {
+			sk := snapKey{aj.Light, aj.Approach}
+			if old, ok := byKey[sk]; ok && old.WindowEnd >= aj.WindowEnd {
+				continue
+			}
+			byKey[sk] = aj
+		}
+	}
+	for _, aj := range byKey {
+		merged.Approaches = append(merged.Approaches, aj)
+	}
+	sortSnapshot(&merged)
+	return merged
+}
+
+func sortSnapshot(doc *server.SnapshotDoc) {
+	sort.Slice(doc.Approaches, func(i, j int) bool {
+		a, b := doc.Approaches[i], doc.Approaches[j]
+		if a.Light != b.Light {
+			return a.Light < b.Light
+		}
+		return a.Approach < b.Approach
+	})
+}
+
+// rankHealth orders health labels for the worst-across-keys header.
+func rankHealth(h string) int {
+	switch h {
+	case "", "fresh":
+		return 0
+	case "stale":
+		return 1
+	case "quarantined":
+		return 2
+	}
+	return 3
+}
+
+// writeSnapshot renders a merged snapshot with ETag revalidation and
+// the worst-health header.
+func writeSnapshot(w http.ResponseWriter, r *http.Request, doc server.SnapshotDoc) {
+	worst := ""
+	for _, aj := range doc.Approaches {
+		if rankHealth(aj.Health) > rankHealth(worst) {
+			worst = aj.Health
+		}
+	}
+	if len(doc.Approaches) == 0 {
+		worst = "stale"
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	etag := fmt.Sprintf(`"m%d-%016x"`, len(doc.Approaches), h.Sum64())
+	if worst != "" && worst != "fresh" {
+		w.Header().Set(healthHeader, worst)
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// etagMatches implements the If-None-Match comparison.
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		candidate := strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleGossip merges a peer's pushed view and answers with ours.
+// Receiving gossip is first-hand evidence the sender is alive.
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var msg gossipMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	if n.mem.Merge(msg.Members) {
+		n.rebuildRing()
+	}
+	if msg.From != "" {
+		n.mem.NoteHeard(msg.From)
+	}
+	n.handleDeparted()
+	writeJSON(w, http.StatusOK, n.mem.View())
+}
+
+// handleWAL streams this node's WAL records after the ?from= sequence
+// in the store's CRC-framed wire encoding — replication is literally
+// segment shipping.
+func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
+	from := uint64(0)
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("bad from %q", q)})
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, _, err := n.st.StreamSince(from, w); err != nil {
+		// Headers are gone; the client's frame CRC catches the torn tail.
+		n.cfg.Logf("cluster: node %s wal stream: %v", n.cfg.NodeID, err)
+	}
+}
+
+// handleCkpt serves the replica bootstrap: the node's current merged
+// engine state plus the WAL cursor it reflects. The cursor is sampled
+// *before* the state export so a concurrent append is re-delivered by
+// the tail rather than lost between the two.
+func (n *Node) handleCkpt(w http.ResponseWriter, r *http.Request) {
+	lastSeq := n.st.LastSeq()
+	b, err := store.EncodeState(n.srv.ExportState(), lastSeq)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleNotify nudges the pull loop for the named peer — a primary just
+// appended and its replicas should not wait out the pull interval.
+func (n *Node) handleNotify(w http.ResponseWriter, r *http.Request) {
+	var msg struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	n.mu.Lock()
+	pr := n.replicas[msg.Node]
+	n.mu.Unlock()
+	if pr != nil {
+		select {
+		case pr.nudge <- struct{}{}:
+		default:
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

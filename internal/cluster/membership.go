@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member states. The protocol is SWIM-shaped but deliberately small:
+// full-mesh heartbeat gossip, incarnation numbers for refutation, and a
+// lastHeard sweep for failure detection — no indirect probing, which a
+// handful of lightd nodes does not need.
+const (
+	StateAlive = "alive"
+	StateDead  = "dead"
+	StateLeft  = "left" // graceful departure; treated as dead for routing
+)
+
+// stateRank orders states for merging at equal incarnation: bad news
+// wins, and an explicit leave outranks a suspected death.
+func stateRank(s string) int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateDead:
+		return 1
+	case StateLeft:
+		return 2
+	}
+	return -1
+}
+
+// Member is one node in the gossiped membership view.
+type Member struct {
+	ID          string `json:"id"`
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// entry is a member plus the local-only failure-detector clock.
+type entry struct {
+	Member
+	lastHeard time.Time
+}
+
+// membership is one node's view of the cluster. Every mutation happens
+// under mu; the exported surface hands out copies.
+type membership struct {
+	mu        sync.Mutex
+	self      string
+	failAfter time.Duration
+	members   map[string]*entry
+}
+
+// newMembership seeds the view with the static peer set (which should
+// include self, carrying its advertised URL). Every seed member starts
+// alive with a fresh failure-detector clock, so a peer that never comes
+// up is declared dead one failAfter later.
+func newMembership(self string, peers map[string]string, failAfter time.Duration) *membership {
+	m := &membership{self: self, failAfter: failAfter, members: make(map[string]*entry, len(peers))}
+	now := time.Now()
+	for id, url := range peers {
+		m.members[id] = &entry{Member: Member{ID: id, URL: url, State: StateAlive}, lastHeard: now}
+	}
+	if _, ok := m.members[self]; !ok {
+		m.members[self] = &entry{Member: Member{ID: self, State: StateAlive}, lastHeard: now}
+	}
+	return m
+}
+
+// Merge folds a gossiped view into ours. Higher incarnation wins; at
+// equal incarnation the worse state wins (a node can only clear rumours
+// about itself by re-incarnating). Unknown members join the view —
+// that is the join protocol. It reports whether the member *set* grew,
+// so the caller knows to rebuild the ring.
+func (m *membership) Merge(ms []Member) (added bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, in := range ms {
+		if in.ID == m.self {
+			// Refute rumours of our own death: out-incarnate them.
+			e := m.members[m.self]
+			if in.State != StateAlive && in.State != "" && in.Incarnation >= e.Incarnation && e.State == StateAlive {
+				e.Incarnation = in.Incarnation + 1
+			}
+			continue
+		}
+		e, ok := m.members[in.ID]
+		if !ok {
+			cp := in
+			m.members[in.ID] = &entry{Member: cp, lastHeard: time.Now()}
+			added = true
+			continue
+		}
+		if e.URL == "" && in.URL != "" {
+			e.URL = in.URL
+		}
+		if in.Incarnation > e.Incarnation ||
+			(in.Incarnation == e.Incarnation && stateRank(in.State) > stateRank(e.State)) {
+			e.State = in.State
+			e.Incarnation = in.Incarnation
+			if in.State == StateAlive {
+				e.lastHeard = time.Now()
+			}
+		}
+	}
+	return added
+}
+
+// NoteHeard records direct contact with a node: first-hand evidence it
+// is alive, overriding any second-hand death rumour.
+func (m *membership) NoteHeard(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	if !ok {
+		return
+	}
+	e.lastHeard = time.Now()
+	if e.State == StateDead {
+		e.State = StateAlive
+	}
+}
+
+// Sweep declares alive members not heard from within failAfter dead,
+// returning the newly dead IDs (sorted) exactly once.
+func (m *membership) Sweep() (dead []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cut := time.Now().Add(-m.failAfter)
+	for id, e := range m.members {
+		if id == m.self || e.State != StateAlive {
+			continue
+		}
+		if e.lastHeard.Before(cut) {
+			e.State = StateDead
+			dead = append(dead, id)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// Alive reports whether a node is serving. Self is always alive in its
+// own view.
+func (m *membership) Alive(id string) bool {
+	if id == m.self {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	return ok && e.State == StateAlive
+}
+
+// URL returns a node's advertised base URL ("" when unknown).
+func (m *membership) URL(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.members[id]; ok {
+		return e.URL
+	}
+	return ""
+}
+
+// View returns the full member list sorted by ID — the gossip payload.
+func (m *membership) View() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.members))
+	for _, e := range m.members {
+		out = append(out, e.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns every known member ID sorted — the ring's node set.
+func (m *membership) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.members))
+	for id := range m.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkLeft records our own graceful departure so the final gossip
+// round spreads it with a fresh incarnation.
+func (m *membership) MarkLeft() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.members[m.self]
+	e.State = StateLeft
+	e.Incarnation++
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testMembers() *membership {
+	return newMembership("a", map[string]string{
+		"a": "http://a", "b": "http://b", "c": "http://c",
+	}, 50*time.Millisecond)
+}
+
+func TestMembershipMergePrecedence(t *testing.T) {
+	m := testMembers()
+	// Same incarnation: the worse state wins.
+	m.Merge([]Member{{ID: "b", State: StateDead, Incarnation: 0}})
+	if m.Alive("b") {
+		t.Fatal("dead rumour at equal incarnation must stick")
+	}
+	// Same incarnation alive does not resurrect: only the node itself
+	// can clear the rumour, by re-incarnating.
+	m.Merge([]Member{{ID: "b", State: StateAlive, Incarnation: 0}})
+	if m.Alive("b") {
+		t.Fatal("equal-incarnation alive must not override dead")
+	}
+	m.Merge([]Member{{ID: "b", State: StateAlive, Incarnation: 1}})
+	if !m.Alive("b") {
+		t.Fatal("higher incarnation alive must revive")
+	}
+	// Left outranks dead at equal incarnation.
+	m.Merge([]Member{{ID: "c", State: StateDead, Incarnation: 2}})
+	m.Merge([]Member{{ID: "c", State: StateLeft, Incarnation: 2}})
+	for _, mb := range m.View() {
+		if mb.ID == "c" && mb.State != StateLeft {
+			t.Fatalf("c = %q, want left", mb.State)
+		}
+	}
+}
+
+func TestMembershipSelfRefutation(t *testing.T) {
+	m := testMembers()
+	m.Merge([]Member{{ID: "a", State: StateDead, Incarnation: 4}})
+	if !m.Alive("a") {
+		t.Fatal("a node is always alive in its own view")
+	}
+	for _, mb := range m.View() {
+		if mb.ID == "a" {
+			if mb.State != StateAlive || mb.Incarnation != 5 {
+				t.Fatalf("self after death rumour = %+v, want alive at incarnation 5", mb)
+			}
+		}
+	}
+}
+
+func TestMembershipSweepAndRevive(t *testing.T) {
+	m := testMembers()
+	m.NoteHeard("b")
+	time.Sleep(60 * time.Millisecond) // past failAfter with no contact
+	dead := m.Sweep()
+	if len(dead) != 2 || dead[0] != "b" || dead[1] != "c" {
+		t.Fatalf("Sweep = %v, want [b c]", dead)
+	}
+	if again := m.Sweep(); len(again) != 0 {
+		t.Fatalf("second Sweep re-reported %v", again)
+	}
+	// Direct contact is first-hand evidence: it revives a suspected-dead
+	// peer.
+	m.NoteHeard("b")
+	if !m.Alive("b") {
+		t.Fatal("NoteHeard must revive a swept peer")
+	}
+}
+
+func TestMembershipJoinGrowsView(t *testing.T) {
+	m := testMembers()
+	if added := m.Merge([]Member{{ID: "d", URL: "http://d", State: StateAlive}}); !added {
+		t.Fatal("merging an unknown member must report growth")
+	}
+	if !m.Alive("d") || m.URL("d") != "http://d" {
+		t.Fatal("joined member must be alive with its gossiped URL")
+	}
+	if added := m.Merge([]Member{{ID: "d", State: StateAlive}}); added {
+		t.Fatal("re-merging a known member must not report growth")
+	}
+	ids := m.IDs()
+	if len(ids) != 4 {
+		t.Fatalf("IDs = %v, want 4 members", ids)
+	}
+}
+
+func TestMembershipMarkLeft(t *testing.T) {
+	m := testMembers()
+	m.MarkLeft()
+	for _, mb := range m.View() {
+		if mb.ID == "a" && (mb.State != StateLeft || mb.Incarnation != 1) {
+			t.Fatalf("self after MarkLeft = %+v", mb)
+		}
+	}
+}

@@ -1,0 +1,633 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taxilight/internal/core"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/server"
+	"taxilight/internal/store"
+)
+
+// Config tunes one cluster node.
+type Config struct {
+	// NodeID names this node; it must appear in Peers.
+	NodeID string
+	// Peers maps node ID to advertised base URL (http://host:port) for
+	// every seed member, including this node.
+	Peers map[string]string
+	// ReplicationFactor is how many nodes hold each key's estimates
+	// (primary included). 2 survives any single-node failure.
+	ReplicationFactor int
+	// HeartbeatInterval is the gossip cadence.
+	HeartbeatInterval time.Duration
+	// FailAfter is how long a peer may stay silent before it is declared
+	// dead and its keys promote (default 4x heartbeat).
+	FailAfter time.Duration
+	// PullInterval is the replica WAL-pull cadence (default 2x
+	// heartbeat); publish notifications cut the latency below it.
+	PullInterval time.Duration
+	// VirtualNodes is the ring's virtual points per node (default 64).
+	VirtualNodes int
+	// HTTPTimeout bounds every intra-cluster request (default 2 s).
+	HTTPTimeout time.Duration
+	// Logf receives failover and replication log lines (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults validates and fills the zero fields.
+func (c *Config) withDefaults() error {
+	if c.NodeID == "" {
+		return fmt.Errorf("cluster: empty node id")
+	}
+	if _, ok := c.Peers[c.NodeID]; !ok {
+		return fmt.Errorf("cluster: node id %q missing from peer set", c.NodeID)
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor > len(c.Peers) {
+		return fmt.Errorf("cluster: replication factor %d exceeds %d peers", c.ReplicationFactor, len(c.Peers))
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 4 * c.HeartbeatInterval
+	}
+	if c.PullInterval <= 0 {
+		c.PullInterval = 2 * c.HeartbeatInterval
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.HTTPTimeout <= 0 {
+		c.HTTPTimeout = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// peerReplica is this node's warm copy of one peer's published
+// estimates: the newest record per replicated key plus the WAL cursor
+// the next pull resumes from. It lives in memory — durability arrives
+// when a promotion pushes the records through the new primary's own
+// persist path.
+type peerReplica struct {
+	mu      sync.Mutex
+	primed  bool
+	lastSeq uint64
+	recs    map[mapmatch.Key]store.Record
+	nudge   chan struct{}
+}
+
+// nodeMetrics are the cluster-layer counters rendered into /metrics via
+// the server's ExtraMetrics hook.
+type nodeMetrics struct {
+	forwards      atomic.Int64
+	forwardErrors atomic.Int64
+	pulls         atomic.Int64
+	pullErrors    atomic.Int64
+	promotions    atomic.Int64
+}
+
+// Node wires one server into the cluster: it owns the ring, the
+// membership view, the per-peer replicas and the HTTP router returned
+// by Handler. Build with NewNode (before server.Start — it installs
+// hooks), then Start, and serve Handler instead of the server's own.
+type Node struct {
+	cfg    Config
+	srv    *server.Server
+	st     *store.Store
+	mem    *membership
+	client *http.Client
+	inner  http.Handler
+
+	mu          sync.Mutex
+	ring        *Ring
+	promoted    map[mapmatch.Key]float64 // key → replicated WindowEnd capped at "stale"
+	deadHandled map[string]bool
+	replicas    map[string]*peerReplica
+
+	notifyCh chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	met nodeMetrics
+}
+
+// NewNode builds a cluster node around a not-yet-started server and its
+// open store, and installs the server's cluster hooks: ingest ownership
+// filtering, the promoted-key health cap, the /healthz cluster section,
+// the /metrics cluster series and the persist notification trigger.
+func NewNode(srv *server.Server, st *store.Store, cfg Config) (*Node, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if srv == nil || st == nil {
+		return nil, fmt.Errorf("cluster: a node needs a server and a durable store")
+	}
+	n := &Node{
+		cfg:         cfg,
+		srv:         srv,
+		st:          st,
+		mem:         newMembership(cfg.NodeID, cfg.Peers, cfg.FailAfter),
+		client:      &http.Client{Timeout: cfg.HTTPTimeout},
+		ring:        NewRing(sortedIDs(cfg.Peers), cfg.VirtualNodes),
+		promoted:    make(map[mapmatch.Key]float64),
+		deadHandled: make(map[string]bool),
+		replicas:    make(map[string]*peerReplica),
+		notifyCh:    make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	for id := range cfg.Peers {
+		if id == cfg.NodeID {
+			continue
+		}
+		n.replicas[id] = &peerReplica{recs: make(map[mapmatch.Key]store.Record), nudge: make(chan struct{}, 1)}
+	}
+	srv.SetClusterHooks(server.ClusterHooks{
+		KeyOwned:       n.ownsKey,
+		HealthOverride: n.healthOverride,
+		Health:         n.healthSection,
+		ExtraMetrics:   n.writeMetrics,
+		OnPersist:      n.onPersist,
+	})
+	n.inner = srv.Handler()
+	return n, nil
+}
+
+func sortedIDs(peers map[string]string) []string {
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	return ids // NewRing sorts its points; input order is irrelevant
+}
+
+// Start launches the gossip loop, one pull loop per peer and the
+// persist notifier.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.gossipLoop()
+	n.wg.Add(1)
+	go n.notifierLoop()
+	for id, pr := range n.replicas {
+		n.wg.Add(1)
+		go n.pullLoop(id, pr)
+	}
+}
+
+// Stop halts every loop. It does not gossip — a stopped node goes
+// silent and the cluster's failure detector takes over, which is
+// exactly what the kill drill exercises.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// Leave announces a graceful departure: the member view marks us left
+// with a fresh incarnation and one final gossip round spreads it, so
+// peers promote immediately instead of waiting out FailAfter.
+func (n *Node) Leave() {
+	n.mem.MarkLeft()
+	n.gossipOnce()
+}
+
+// ringNow returns the current ring (rebuilt when gossip grows the
+// member set).
+func (n *Node) ringNow() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+func (n *Node) rebuildRing() {
+	ids := n.mem.IDs()
+	n.mu.Lock()
+	n.ring = NewRing(ids, n.cfg.VirtualNodes)
+	n.mu.Unlock()
+}
+
+// ownsKey is the ingest filter: a node admits a matched record only
+// when it is the key's current (alive-filtered) primary. When a node
+// dies, ownership of its keys flips to the promoted replica at the
+// next gossip sweep — from then on the survivor ingests them.
+func (n *Node) ownsKey(k mapmatch.Key) bool {
+	return n.ringNow().Primary(k, n.mem.Alive) == n.cfg.NodeID
+}
+
+// replicatesKey reports whether this node belongs to k's static
+// replica set — the filter deciding which pulled records to keep.
+func (n *Node) replicatesKey(k mapmatch.Key) bool {
+	for _, id := range n.ringNow().Owners(k, n.cfg.ReplicationFactor, nil) {
+		if id == n.cfg.NodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// healthOverride caps a promoted key's served health at "stale" until a
+// local estimation round publishes something newer than the replicated
+// estimate — a client must never mistake failover state for a fresh
+// answer. The cap clears itself lazily on the first served request
+// after the refresh.
+func (n *Node) healthOverride(k mapmatch.Key, health string) string {
+	n.mu.Lock()
+	end, ok := n.promoted[k]
+	n.mu.Unlock()
+	if !ok {
+		return health
+	}
+	if est, found := n.srv.EstimateFor(k); found && est.WindowEnd > end {
+		n.mu.Lock()
+		delete(n.promoted, k)
+		n.mu.Unlock()
+		return health
+	}
+	if health == "" || health == "fresh" {
+		return "stale"
+	}
+	return health
+}
+
+// onPersist is the server's persist hook: wake the notifier without
+// ever blocking the store writer.
+func (n *Node) onPersist(uint64) {
+	select {
+	case n.notifyCh <- struct{}{}:
+	default:
+	}
+}
+
+// notifierLoop tells alive peers "I have new WAL" after local appends,
+// so replicas pull within an RTT instead of a PullInterval.
+func (n *Node) notifierLoop() {
+	defer n.wg.Done()
+	body, _ := json.Marshal(map[string]string{"node": n.cfg.NodeID})
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.notifyCh:
+		}
+		for _, mb := range n.mem.View() {
+			if mb.ID == n.cfg.NodeID || mb.State != StateAlive || mb.URL == "" {
+				continue
+			}
+			resp, err := n.client.Post(mb.URL+"/cluster/v1/notify", "application/json", bytes.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// gossipLoop heartbeats the full member view to every peer and sweeps
+// the failure detector.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.gossipOnce()
+			if dead := n.mem.Sweep(); len(dead) > 0 {
+				n.cfg.Logf("cluster: node %s declared %v dead after %v of silence", n.cfg.NodeID, dead, n.cfg.FailAfter)
+			}
+			n.handleDeparted()
+		}
+	}
+}
+
+// gossipMsg is the POST /cluster/v1/gossip payload.
+type gossipMsg struct {
+	From    string   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// gossipOnce exchanges views with every known peer; the response view
+// is merged back so information spreads both ways each round.
+func (n *Node) gossipOnce() {
+	msg := gossipMsg{From: n.cfg.NodeID, Members: n.mem.View()}
+	body, _ := json.Marshal(msg)
+	for _, mb := range msg.Members {
+		if mb.ID == n.cfg.NodeID || mb.URL == "" || mb.State == StateLeft {
+			continue
+		}
+		resp, err := n.client.Post(mb.URL+"/cluster/v1/gossip", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		var theirs []Member
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&theirs)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if n.mem.Merge(theirs) {
+			n.rebuildRing()
+		}
+		n.mem.NoteHeard(mb.ID)
+	}
+}
+
+// handleDeparted promotes once per death (or leave): any key whose
+// alive-filtered primary is now this node, and for which a replica
+// holds a newer estimate than the local engine, is primed into the
+// engine — after which the normal serve, estimate and persist paths
+// treat it like home-grown state. A revived node clears its handled
+// mark so a later death promotes again.
+func (n *Node) handleDeparted() {
+	for _, mb := range n.mem.View() {
+		if mb.ID == n.cfg.NodeID {
+			continue
+		}
+		n.mu.Lock()
+		if mb.State == StateAlive {
+			delete(n.deadHandled, mb.ID)
+			n.mu.Unlock()
+			continue
+		}
+		handled := n.deadHandled[mb.ID]
+		n.deadHandled[mb.ID] = true
+		n.mu.Unlock()
+		if !handled {
+			n.promoteOrphans(mb.ID)
+		}
+	}
+}
+
+// promoteOrphans adopts every replicated key this node now primaries.
+func (n *Node) promoteOrphans(departed string) {
+	start := time.Now()
+	ring := n.ringNow()
+	best := make(map[mapmatch.Key]store.Record)
+	n.mu.Lock()
+	replicas := make([]*peerReplica, 0, len(n.replicas))
+	for _, pr := range n.replicas {
+		replicas = append(replicas, pr)
+	}
+	n.mu.Unlock()
+	for _, pr := range replicas {
+		pr.mu.Lock()
+		for k, rec := range pr.recs {
+			if ring.Primary(k, n.mem.Alive) != n.cfg.NodeID {
+				continue
+			}
+			if b, ok := best[k]; !ok || rec.WindowEnd > b.WindowEnd {
+				best[k] = rec
+			}
+		}
+		pr.mu.Unlock()
+	}
+	var rs []core.Result
+	n.mu.Lock()
+	for k, rec := range best {
+		if est, ok := n.srv.EstimateFor(k); ok && est.WindowEnd >= rec.WindowEnd {
+			continue
+		}
+		rs = append(rs, rec.Result())
+		n.promoted[k] = rec.WindowEnd
+	}
+	n.mu.Unlock()
+	if len(rs) == 0 {
+		return
+	}
+	accepted := n.srv.PrimeResults(rs)
+	n.met.promotions.Add(int64(accepted))
+	n.cfg.Logf("cluster: node %s promoted %d replicated keys after %s departed (%.1f ms)",
+		n.cfg.NodeID, accepted, departed, float64(time.Since(start).Microseconds())/1000)
+}
+
+// pullLoop replicates one peer's WAL: bootstrap from its live engine
+// state (the checkpoint a restart would read), then tail its WAL from
+// the cursor — the same warm-start contract a local restart uses, over
+// HTTP. Ticks bound the staleness; notify nudges cut it to an RTT.
+func (n *Node) pullLoop(peerID string, pr *peerReplica) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.PullInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-pr.nudge:
+		case <-t.C:
+		}
+		if !n.mem.Alive(peerID) {
+			continue
+		}
+		if err := n.pullFrom(peerID, pr); err != nil {
+			n.met.pullErrors.Add(1)
+		} else {
+			n.met.pulls.Add(1)
+		}
+	}
+}
+
+// pullFrom runs one replication round against a peer.
+func (n *Node) pullFrom(peerID string, pr *peerReplica) error {
+	base := n.mem.URL(peerID)
+	if base == "" {
+		return nil
+	}
+	pr.mu.Lock()
+	primed, from := pr.primed, pr.lastSeq
+	pr.mu.Unlock()
+	if !primed {
+		st, lastSeq, err := n.fetchCheckpoint(base)
+		if err != nil {
+			return err
+		}
+		pr.mu.Lock()
+		for k, as := range st.Approaches {
+			rec, ok := store.FromResult(as.Result)
+			if !ok || !n.replicatesKey(k) {
+				continue
+			}
+			if old, exists := pr.recs[k]; !exists || rec.WindowEnd >= old.WindowEnd {
+				pr.recs[k] = rec
+			}
+		}
+		pr.primed, pr.lastSeq = true, lastSeq
+		from = lastSeq
+		pr.mu.Unlock()
+	}
+	return n.fetchWAL(base, from, pr)
+}
+
+// fetchCheckpoint reads a peer's current merged engine state and WAL
+// cursor. The peer samples the cursor *before* exporting state, so a
+// concurrent append is re-delivered by the tail rather than lost.
+func (n *Node) fetchCheckpoint(base string) (core.EngineState, uint64, error) {
+	resp, err := n.client.Get(base + "/cluster/v1/ckpt")
+	if err != nil {
+		return core.EngineState{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return core.EngineState{}, 0, fmt.Errorf("cluster: checkpoint fetch: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return core.EngineState{}, 0, err
+	}
+	return store.DecodeState(body)
+}
+
+// fetchWAL tails a peer's WAL from a sequence cursor, folding newer
+// records for keys in our static replica set.
+func (n *Node) fetchWAL(base string, from uint64, pr *peerReplica) error {
+	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/v1/wal?from=%d", base, from))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: wal fetch: %s", resp.Status)
+	}
+	return store.ReadStream(resp.Body, func(rec store.Record) error {
+		pr.mu.Lock()
+		defer pr.mu.Unlock()
+		if rec.Seq > pr.lastSeq {
+			pr.lastSeq = rec.Seq
+		}
+		k := rec.Key()
+		if !n.replicatesKey(k) {
+			return nil
+		}
+		if old, exists := pr.recs[k]; !exists || rec.WindowEnd >= old.WindowEnd {
+			pr.recs[k] = rec
+		}
+		return nil
+	})
+}
+
+// replicaRecord returns the newest replicated record for a key across
+// every peer replica — the serve-from-replica fallback during the
+// failover window before promotion lands.
+func (n *Node) replicaRecord(k mapmatch.Key) (store.Record, bool) {
+	n.mu.Lock()
+	replicas := make([]*peerReplica, 0, len(n.replicas))
+	for _, pr := range n.replicas {
+		replicas = append(replicas, pr)
+	}
+	n.mu.Unlock()
+	var best store.Record
+	found := false
+	for _, pr := range replicas {
+		pr.mu.Lock()
+		if rec, ok := pr.recs[k]; ok && (!found || rec.WindowEnd > best.WindowEnd) {
+			best, found = rec, true
+		}
+		pr.mu.Unlock()
+	}
+	return best, found
+}
+
+// replicaSeq returns the replication cursor for one peer (tests use it
+// to wait for replication to catch up).
+func (n *Node) replicaSeq(peerID string) uint64 {
+	n.mu.Lock()
+	pr := n.replicas[peerID]
+	n.mu.Unlock()
+	if pr == nil {
+		return 0
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.lastSeq
+}
+
+// clusterHealthJSON is the /healthz "cluster" section.
+type clusterHealthJSON struct {
+	Self              string                   `json:"self"`
+	ReplicationFactor int                      `json:"replication_factor"`
+	Members           []Member                 `json:"members"`
+	Replicas          map[string]replicaHealth `json:"replicas"`
+	PromotedKeys      int                      `json:"promoted_keys"`
+}
+
+type replicaHealth struct {
+	Primed  bool   `json:"primed"`
+	LastSeq uint64 `json:"last_seq"`
+	Keys    int    `json:"keys"`
+}
+
+// healthSection renders the node's cluster view for /healthz.
+func (n *Node) healthSection() any {
+	doc := clusterHealthJSON{
+		Self:              n.cfg.NodeID,
+		ReplicationFactor: n.cfg.ReplicationFactor,
+		Members:           n.mem.View(),
+		Replicas:          make(map[string]replicaHealth),
+	}
+	n.mu.Lock()
+	doc.PromotedKeys = len(n.promoted)
+	replicas := make(map[string]*peerReplica, len(n.replicas))
+	for id, pr := range n.replicas {
+		replicas[id] = pr
+	}
+	n.mu.Unlock()
+	for id, pr := range replicas {
+		pr.mu.Lock()
+		doc.Replicas[id] = replicaHealth{Primed: pr.primed, LastSeq: pr.lastSeq, Keys: len(pr.recs)}
+		pr.mu.Unlock()
+	}
+	return doc
+}
+
+// writeMetrics appends the cluster series to /metrics.
+func (n *Node) writeMetrics(w io.Writer) {
+	counts := map[string]int{StateAlive: 0, StateDead: 0, StateLeft: 0}
+	for _, mb := range n.mem.View() {
+		counts[mb.State]++
+	}
+	fmt.Fprintln(w, "# TYPE lightd_cluster_members gauge")
+	for _, st := range []string{StateAlive, StateDead, StateLeft} {
+		fmt.Fprintf(w, "lightd_cluster_members{state=%q} %d\n", st, counts[st])
+	}
+	replicaRecords := 0
+	n.mu.Lock()
+	promoted := len(n.promoted)
+	replicas := make([]*peerReplica, 0, len(n.replicas))
+	for _, pr := range n.replicas {
+		replicas = append(replicas, pr)
+	}
+	n.mu.Unlock()
+	for _, pr := range replicas {
+		pr.mu.Lock()
+		replicaRecords += len(pr.recs)
+		pr.mu.Unlock()
+	}
+	fmt.Fprintln(w, "# TYPE lightd_cluster_replica_records gauge")
+	fmt.Fprintf(w, "lightd_cluster_replica_records %d\n", replicaRecords)
+	fmt.Fprintln(w, "# TYPE lightd_cluster_promoted_keys gauge")
+	fmt.Fprintf(w, "lightd_cluster_promoted_keys %d\n", promoted)
+	fmt.Fprintln(w, "# TYPE lightd_cluster_forwards_total counter")
+	fmt.Fprintf(w, "lightd_cluster_forwards_total{outcome=\"ok\"} %d\n", n.met.forwards.Load())
+	fmt.Fprintf(w, "lightd_cluster_forwards_total{outcome=\"error\"} %d\n", n.met.forwardErrors.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_replica_pulls_total counter")
+	fmt.Fprintf(w, "lightd_cluster_replica_pulls_total{outcome=\"ok\"} %d\n", n.met.pulls.Load())
+	fmt.Fprintf(w, "lightd_cluster_replica_pulls_total{outcome=\"error\"} %d\n", n.met.pullErrors.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_promotions_total counter")
+	fmt.Fprintf(w, "lightd_cluster_promotions_total %d\n", n.met.promotions.Load())
+}

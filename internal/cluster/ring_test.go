@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/roadnet"
+)
+
+// testKeys enumerates a synthetic keyspace large enough to exercise the
+// ring's distribution.
+func testKeys(n int) []mapmatch.Key {
+	out := make([]mapmatch.Key, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out,
+			mapmatch.Key{Light: roadnet.NodeID(i), Approach: lights.NorthSouth},
+			mapmatch.Key{Light: roadnet.NodeID(i), Approach: lights.EastWest})
+	}
+	return out
+}
+
+func TestRingDistributionAndReplicaSets(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := NewRing(nodes, 64)
+	keys := testKeys(500)
+	counts := map[string]int{}
+	for _, k := range keys {
+		owners := r.Owners(k, 2, nil)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%v, 2) = %v, want 2 distinct nodes", k, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%v) repeated node %q", k, owners[0])
+		}
+		if got := r.Primary(k, nil); got != owners[0] {
+			t.Fatalf("Primary(%v) = %q, Owners[0] = %q", k, got, owners[0])
+		}
+		counts[owners[0]]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("node %q owns %.0f%% of keys; virtual nodes should spread load (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property: killing one
+// node only remaps keys that node owned — every other key keeps its
+// primary.
+func TestRingStability(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	alive := func(id string) bool { return id != "c" }
+	moved := 0
+	for _, k := range testKeys(500) {
+		before := r.Primary(k, nil)
+		after := r.Primary(k, alive)
+		if before != "c" {
+			if after != before {
+				t.Fatalf("key %v moved %q -> %q though its primary survived", k, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == "c" {
+			t.Fatalf("key %v still routed to the dead node", k)
+		}
+		// The rerouted primary must be the key's static secondary — that
+		// is where the replica lives.
+		if owners := r.Owners(k, 2, nil); after != owners[1] {
+			t.Fatalf("key %v rerouted to %q, want static secondary %q", k, after, owners[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the killed node; distribution test is vacuous")
+	}
+}
+
+// TestRingCoLocatesPerpendicularApproaches pins the placement rule the
+// estimation pipeline depends on: identification of one approach reads
+// the perpendicular approach's records, so both approaches of a light
+// must share a primary and a replica set.
+func TestRingCoLocatesPerpendicularApproaches(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	for i := 0; i < 500; i++ {
+		k := mapmatch.Key{Light: roadnet.NodeID(i), Approach: lights.NorthSouth}
+		pk := k.PerpendicularKey()
+		if r.Primary(k, nil) != r.Primary(pk, nil) {
+			t.Fatalf("light %d: NS on %q but EW on %q", i, r.Primary(k, nil), r.Primary(pk, nil))
+		}
+		if o, po := r.Owners(k, 2, nil), r.Owners(pk, 2, nil); o[0] != po[0] || o[1] != po[1] {
+			t.Fatalf("light %d: replica sets differ: %v vs %v", i, o, po)
+		}
+	}
+}
+
+func TestRingOwnersSkipDeadNodes(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 32)
+	k := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	all := r.Owners(k, 4, nil)
+	if len(all) != 4 {
+		t.Fatalf("Owners rf=4 over 4 nodes = %v", all)
+	}
+	dead := all[0]
+	alive := func(id string) bool { return id != dead }
+	got := r.Owners(k, 2, alive)
+	if len(got) != 2 || got[0] != all[1] {
+		t.Fatalf("with %q dead, Owners = %v, want to start at %q", dead, got, all[1])
+	}
+	if owners := r.Owners(k, 2, func(string) bool { return false }); len(owners) != 0 {
+		t.Fatalf("no alive nodes must yield no owners, got %v", owners)
+	}
+	if got := r.Primary(k, func(string) bool { return false }); got != "" {
+		t.Fatalf("Primary with no alive nodes = %q, want empty", got)
+	}
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
@@ -227,6 +228,13 @@ func (p *FlakyProxy) budgetFor(seq int64, rng *rand.Rand) int64 {
 	max := float64(p.cfg.MaxConnBytes)
 	for i := int64(0); i < seq; i++ {
 		max *= p.cfg.ConnBytesGrowth
+		// A client that reconnects long enough earns an effectively
+		// unlimited budget; growing past this would overflow int64 (and
+		// hand rng.Int63n a negative bound) on long-lived proxies.
+		if max >= math.MaxInt64/4 {
+			max = math.MaxInt64 / 4
+			break
+		}
 	}
 	b := int64(max/2) + rng.Int63n(int64(max/2)+1)
 	if b <= 0 {

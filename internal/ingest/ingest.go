@@ -57,7 +57,9 @@ type Config struct {
 	// line — a fully deduplicated replay still counts as productive.
 	FailureBudget int
 	// CircuitCooldown is how long an open circuit rests before the
-	// source is retried with a fresh budget.
+	// source is retried half-open: a single probe attempt. A productive
+	// probe closes the circuit and restores the full budget; a failed
+	// probe re-opens it immediately for another full cooldown.
 	CircuitCooldown time.Duration
 	// ResumeDedup arms the last-seen-timestamp dedup gate on every
 	// dial-source reconnect, so upstreams that replay their buffer

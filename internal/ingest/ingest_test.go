@@ -320,9 +320,14 @@ func TestDialCircuitBreaker(t *testing.T) {
 	cancel()
 	<-done
 
+	// The first open costs the full budget; every later open is one
+	// failed half-open probe, not a fresh budget.
 	st := sup.Snapshot()[0]
-	if st.ConnsFailed < 6 {
-		t.Fatalf("ConnsFailed = %d, want >= 6 (two exhausted budgets of 3)", st.ConnsFailed)
+	if st.ConnsFailed < 4 {
+		t.Fatalf("ConnsFailed = %d, want >= 4 (a budget of 3 plus at least one failed probe)", st.ConnsFailed)
+	}
+	if st.ConnsFailed > st.CircuitOpens+3 {
+		t.Fatalf("ConnsFailed = %d with %d opens: half-open probes were granted a fresh budget", st.ConnsFailed, st.CircuitOpens)
 	}
 	if st.LastError == "" {
 		t.Fatal("a refused dial should surface in LastError")

@@ -134,6 +134,7 @@ type Source struct {
 	records       int64
 	dedupDropped  int64
 	streak        int64
+	halfOpen      bool
 
 	backoffCounts []int64
 	backoffInf    int64
@@ -265,10 +266,12 @@ func (s *Source) noteFailure(err error) {
 	}
 }
 
-// clearStreak resets the breaker streak after a productive connection.
+// clearStreak resets the breaker streak after a productive connection,
+// closing a half-open circuit for good.
 func (s *Source) clearStreak() {
 	s.mu.Lock()
 	s.streak = 0
+	s.halfOpen = false
 	s.mu.Unlock()
 }
 
@@ -278,14 +281,26 @@ func (s *Source) failureStreak() int64 {
 	return s.streak
 }
 
-// openCircuit trips the breaker: the streak resets so the source gets a
-// fresh budget after the cooldown (half-open).
+// openCircuit trips the breaker. The streak resets so the cooldown ends
+// in the half-open state: exactly one probe attempt, whose outcome
+// either closes the circuit (clearStreak) or re-opens it immediately
+// with the full cooldown (probeFailed).
 func (s *Source) openCircuit() {
 	s.mu.Lock()
 	s.state = StateCircuitOpen
 	s.circuitOpens++
 	s.streak = 0
+	s.halfOpen = true
 	s.mu.Unlock()
+}
+
+// probeFailed reports whether the source is half-open and its single
+// probe attempt failed — the condition that re-opens the circuit
+// without granting the rest of the failure budget.
+func (s *Source) probeFailed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.halfOpen && s.streak > 0
 }
 
 // connOpened accounts one established connection.

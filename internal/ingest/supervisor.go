@@ -124,11 +124,13 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 
 // pause applies the supervised wait after a failed or closed
 // connection: the exponential backoff normally, or the circuit cooldown
-// when the failure streak exhausted the budget. It returns false when
-// ctx ended.
+// when the failure streak exhausted the budget — or when the single
+// half-open probe after a cooldown failed, which re-opens the circuit
+// with the full cooldown instead of granting a fresh budget. It returns
+// false when ctx ended.
 func (sup *Supervisor) pause(ctx context.Context, src *Source, backoff *time.Duration, rng *rand.Rand) bool {
 	var d time.Duration
-	if b := sup.cfg.FailureBudget; b > 0 && src.failureStreak() >= int64(b) {
+	if b := sup.cfg.FailureBudget; b > 0 && (src.failureStreak() >= int64(b) || src.probeFailed()) {
 		src.openCircuit()
 		d = sup.cfg.CircuitCooldown
 		*backoff = sup.cfg.BackoffMin

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -95,7 +96,9 @@ func (s *Server) guard(exempt bool, h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.inflight }()
 			default:
 				s.met.httpShed.Add(1)
-				w.Header().Set("Retry-After", "1")
+				// Jittered so a shed fleet does not retry in lockstep and
+				// re-saturate the limiter on the same tick.
+				w.Header().Set("Retry-After", strconv.Itoa(1+rand.Intn(3)))
 				writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "overloaded, retry later"})
 				return
 			}
@@ -180,8 +183,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// parseStateKey extracts the partition key from the request path.
-func parseStateKey(r *http.Request) (mapmatch.Key, error) {
+// overrideHealth applies the cluster layer's health-override hook, if
+// any — e.g. capping a promoted replica's answer at "stale".
+func (s *Server) overrideHealth(k mapmatch.Key, health string) string {
+	if fn := s.hooks.HealthOverride; fn != nil {
+		return fn(k, health)
+	}
+	return health
+}
+
+// ParseStateKey extracts the partition key from a request path with
+// {light} and {approach} values (also used by the cluster router).
+func ParseStateKey(r *http.Request) (mapmatch.Key, error) {
 	light, err := strconv.ParseInt(r.PathValue("light"), 10, 64)
 	if err != nil {
 		return mapmatch.Key{}, fmt.Errorf("bad light id %q", r.PathValue("light"))
@@ -206,7 +219,7 @@ func parseStateKey(r *http.Request) (mapmatch.Key, error) {
 // current at stream time T, read from the durable store's history —
 // "what would the service have said at T?".
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
-	key, err := parseStateKey(r)
+	key, err := ParseStateKey(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
@@ -239,14 +252,15 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no estimate for light %d approach %s", key.Light, key.Approach)})
 			return
 		}
-		resp.Health = ah.State.String()
+		resp.Health = s.overrideHealth(key, ah.State.String())
 		setHealthHeader(w, resp.Health)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp.Health = est.Health.String()
+	resp.Health = s.overrideHealth(key, est.Health.String())
 	setHealthHeader(w, resp.Health)
 	aj := approachFromEstimate(key, est)
+	aj.Health = resp.Health
 	resp.Estimate = &aj
 	if state, until, ok := est.PhaseAt(t); ok {
 		resp.State = strings.ToLower(state.String())
@@ -348,7 +362,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "history needs a durable store (run with -store-dir)"})
 		return
 	}
-	key, err := parseStateKey(r)
+	key, err := ParseStateKey(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
@@ -419,12 +433,12 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot serves the cached whole-city snapshot with ETag
 // revalidation: a request carrying the current tag costs a version
-// compare and a 304.
+// compare and a 304. The health header carries the worst health across
+// the returned keys, so a fleet-polling client sees degradation without
+// parsing every approach.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	etag, body, degraded := s.snapshot()
-	if degraded {
-		setHealthHeader(w, "stale")
-	}
+	etag, body, worst := s.snapshot()
+	setHealthHeader(w, worst)
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Cache-Control", "no-cache")
 	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
@@ -472,6 +486,13 @@ type healthzJSON struct {
 	// store at startup — non-zero means the daemon answered queries
 	// before its first live trace arrived.
 	WarmStartApproaches int64 `json:"warm_start_approaches"`
+	// Store reports the persistence condition: absent without a store,
+	// "ok" normally, "degraded" once the write-failure budget tripped
+	// and the daemon dropped to serving-only mode.
+	Store string `json:"store,omitempty"`
+	// Cluster carries the cluster membership/ring section when the
+	// daemon runs as a cluster node.
+	Cluster any `json:"cluster,omitempty"`
 	// Sources reports every supervised ingest source's state machine
 	// and connection accounting; absent before RunSources.
 	Sources []sourceJSON `json:"sources,omitempty"`
@@ -525,6 +546,15 @@ func (s *Server) healthReport() healthzJSON {
 	}
 	if lastIngest > 0 {
 		doc.LastIngestAgeSeconds = time.Since(time.Unix(0, lastIngest)).Seconds()
+	}
+	if s.cfg.Store != nil {
+		doc.Store = "ok"
+		if s.storeDegraded.Load() {
+			doc.Store = "degraded"
+		}
+	}
+	if fn := s.hooks.Health; fn != nil {
+		doc.Cluster = fn()
 	}
 	if sup := s.supervisor(); sup != nil {
 		for _, st := range sup.Snapshot() {
@@ -591,6 +621,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.ingestUnmatched.write(w, "lightd_ingest_unmatched_total", "")
 	fmt.Fprintln(w, "# TYPE lightd_ingest_dropped_total counter")
 	m.ingestDropped.write(w, "lightd_ingest_dropped_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_ingest_filtered_total counter")
+	m.ingestFiltered.write(w, "lightd_ingest_filtered_total", "")
 	fmt.Fprintln(w, "# TYPE lightd_ingest_records_per_second gauge")
 	writeSample(w, "lightd_ingest_records_per_second", "", m.ingestRate(time.Now().UnixNano()))
 
@@ -639,6 +671,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeSample(w, "lightd_wal_records_total", `outcome="appended"`, float64(m.walAppended.Load()))
 		writeSample(w, "lightd_wal_records_total", `outcome="dropped"`, float64(m.walDropped.Load()))
 		writeSample(w, "lightd_wal_records_total", `outcome="error"`, float64(m.walErrors.Load()))
+		fmt.Fprintln(w, "# TYPE lightd_store_write_errors_total counter")
+		m.storeWriteErrors.write(w, "lightd_store_write_errors_total", "")
+		fmt.Fprintln(w, "# TYPE lightd_store_degraded gauge")
+		degraded := 0.0
+		if s.storeDegraded.Load() {
+			degraded = 1
+		}
+		writeSample(w, "lightd_store_degraded", "", degraded)
 		fmt.Fprintln(w, "# TYPE lightd_wal_fsyncs_total counter")
 		writeSample(w, "lightd_wal_fsyncs_total", "", float64(ss.Fsyncs))
 		fmt.Fprintln(w, "# TYPE lightd_wal_segments gauge")
@@ -686,6 +726,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	if sup := s.supervisor(); sup != nil {
 		writeSourceMetrics(w, sup.Snapshot())
+	}
+	if fn := s.hooks.ExtraMetrics; fn != nil {
+		fn(w)
 	}
 }
 

@@ -126,6 +126,12 @@ func (s *Server) ingestScanner(ctx context.Context, sc *trace.Scanner, admit fun
 			}
 			if m, matched := s.matcher.Match(rec); matched {
 				s.met.ingestMatched.Add(1)
+				// In a cluster every node sees the whole feed but ingests
+				// only the keys the ring assigns it.
+				if own := s.hooks.KeyOwned; own != nil && !own(mapmatch.Key{Light: m.Light, Approach: m.Approach}) {
+					s.met.ingestFiltered.Add(1)
+					continue
+				}
 				idx := shardIndex(mapmatch.Key{Light: m.Light, Approach: m.Approach}, len(s.shards))
 				batches[idx] = append(batches[idx], m)
 				if len(batches[idx]) >= s.cfg.BatchSize {

@@ -123,6 +123,7 @@ type metrics struct {
 	ingestMatched   counter // records snapped to a signal approach
 	ingestUnmatched counter // records no approach could be attributed to
 	ingestDropped   counter // matched records dropped at dispatch (shutdown)
+	ingestFiltered  counter // matched records for keys this node does not own
 	schedChanges    counter // confirmed scheduling changes across shards
 	advanceErrors   counter // failed Advance calls
 
@@ -143,13 +144,14 @@ type metrics struct {
 	// Durable-store series: queue accounting (appended vs dropped at
 	// the bounded persistence queue), failures, and WAL latency split
 	// into the cheap framed append and the expensive batched fsync.
-	walAppended   counter // records handed to the store
-	walDropped    counter // records dropped because the queue was full
-	walErrors     counter // failed store appends
-	ckptErrors    counter // failed checkpoint writes
-	walAppendLat  *histogram
-	walFsyncLat   *histogram
-	restoredCount counter // approaches warm-started from the store
+	walAppended      counter // records handed to the store
+	walDropped       counter // records dropped because the queue was full
+	walErrors        counter // failed store appends (records)
+	storeWriteErrors counter // failed store appends (batches) — degraded-mode budget
+	ckptErrors       counter // failed checkpoint writes
+	walAppendLat     *histogram
+	walFsyncLat      *histogram
+	restoredCount    counter // approaches warm-started from the store
 
 	// Overload-hardening series: requests shed by the in-flight limiter
 	// and handler panics swallowed by the recovery middleware.

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -49,8 +50,8 @@ func TestOverloadShedding(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated /v1/state = %d, want 429", rec.Code)
 	}
-	if rec.Header().Get("Retry-After") != "1" {
-		t.Fatalf("Retry-After = %q, want 1", rec.Header().Get("Retry-After"))
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 || ra > 3 {
+		t.Fatalf("Retry-After = %q, want a jittered value in [1, 3]", rec.Header().Get("Retry-After"))
 	}
 	if s.met.httpShed.Load() == 0 {
 		t.Fatal("shed counter did not move")
@@ -149,6 +150,31 @@ func TestDegradedModeHeader(t *testing.T) {
 	srec := get(t, s, "/v1/snapshot", nil)
 	if got := srec.Header().Get(healthHeader); got != "stale" {
 		t.Fatalf("degraded snapshot header %q, want stale", got)
+	}
+}
+
+// TestSnapshotWorstHealthHeader checks /v1/snapshot carries the worst
+// health across the returned keys: one stale approach among fresh ones
+// is enough to mark the whole-city answer.
+func TestSnapshotWorstHealthHeader(t *testing.T) {
+	s := newTestServer(t, nil)
+	old := mapmatch.Key{Light: 1, Approach: lights.NorthSouth}
+	live := mapmatch.Key{Light: 2, Approach: lights.EastWest}
+	stale := primedResult(old)
+	stale.WindowEnd -= 4 * s.cfg.Realtime.Faults.StaleAfter
+	stale.WindowStart = stale.WindowEnd - 1800
+	s.shardFor(old).engine.Prime(stale)
+	s.shardFor(live).engine.Prime(primedResult(live))
+
+	rec := get(t, s, "/v1/snapshot", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/snapshot = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get(healthHeader); got != "stale" {
+		t.Fatalf("mixed snapshot header %q, want stale (worst across keys)", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"health":"fresh"`) {
+		t.Fatal("snapshot body lost its fresh approaches")
 	}
 }
 

@@ -11,8 +11,10 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taxilight/internal/core"
@@ -72,6 +74,13 @@ type Config struct {
 	// CheckpointInterval is the wall-clock cadence of full checkpoints;
 	// 0 checkpoints only at shutdown. Ignored without a Store.
 	CheckpointInterval time.Duration
+	// StoreFailureBudget is how many consecutive failed WAL appends
+	// (ENOSPC, EIO, a yanked disk) the persist writer tolerates before
+	// dropping to serving-only mode: further batches are discarded with
+	// a counter, checkpoints stop, and /healthz reports "store:
+	// degraded" — the daemon keeps answering instead of crashing or
+	// silently stalling the persist queue. 0 never degrades.
+	StoreFailureBudget int
 	// MaxInFlight bounds concurrently served HTTP requests; excess load
 	// is shed with 429 + Retry-After so a hot scrape loop cannot starve
 	// the daemon. /healthz and /metrics are exempt — operators must see
@@ -101,6 +110,7 @@ func DefaultConfig() Config {
 		ShutdownGrace:      5 * time.Second,
 		StaleFeedAfter:     2 * time.Minute,
 		StoreQueue:         256,
+		StoreFailureBudget: 8,
 		CheckpointInterval: time.Minute,
 		MaxInFlight:        256,
 	}
@@ -123,6 +133,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: non-positive store queue %d", c.StoreQueue)
 	case c.CheckpointInterval < 0:
 		return fmt.Errorf("server: negative checkpoint interval %v", c.CheckpointInterval)
+	case c.StoreFailureBudget < 0:
+		return fmt.Errorf("server: negative store failure budget %d", c.StoreFailureBudget)
 	case c.MaxInFlight < 0:
 		return fmt.Errorf("server: negative in-flight limit %d", c.MaxInFlight)
 	}
@@ -155,11 +167,41 @@ type Server struct {
 	// Persistence plumbing (nil/idle without a configured Store): the
 	// shard loops enqueue newly published estimates, one writer drains
 	// the queue into the WAL, and a timer takes full checkpoints.
-	persistCh chan []store.Record
-	persistWG sync.WaitGroup
-	ckptStop  chan struct{}
-	ckptWG    sync.WaitGroup
+	// storeDegraded latches once StoreFailureBudget consecutive appends
+	// fail; the daemon then serves without persisting.
+	persistCh     chan []store.Record
+	persistWG     sync.WaitGroup
+	ckptStop      chan struct{}
+	ckptWG        sync.WaitGroup
+	storeDegraded atomic.Bool
+
+	// hooks are the cluster layer's callbacks; zero for a single node.
+	hooks ClusterHooks
 }
+
+// ClusterHooks are the callbacks a cluster node installs into a server
+// with SetClusterHooks before Start. Every field may be nil.
+type ClusterHooks struct {
+	// KeyOwned filters matched records at ingest: records whose
+	// partition key returns false are counted and dropped before
+	// dispatch, so a cluster node ingests only the keys it owns.
+	KeyOwned func(mapmatch.Key) bool
+	// HealthOverride may rewrite the health label served for one key —
+	// a node caps keys promoted from replicated state at "stale" until
+	// the next local estimation round refreshes them.
+	HealthOverride func(k mapmatch.Key, health string) string
+	// Health is rendered into /healthz as the "cluster" section.
+	Health func() any
+	// ExtraMetrics appends exposition lines to every /metrics render.
+	ExtraMetrics func(w io.Writer)
+	// OnPersist runs after every successful WAL append with the store's
+	// newest sequence number — the replication notification trigger.
+	OnPersist func(lastSeq uint64)
+}
+
+// SetClusterHooks installs the cluster layer's callbacks. Must be
+// called before Start and before any request is served.
+func (s *Server) SetClusterHooks(h ClusterHooks) { s.hooks = h }
 
 // New builds a server with cfg.Shards idle engines. matcher attributes
 // raw records to signal approaches; it may be nil when the caller feeds
@@ -223,14 +265,31 @@ func (s *Server) Start() {
 
 // persistLoop is the single store writer: it drains estimate batches
 // from the bounded queue into the WAL. Append errors are counted, not
-// fatal — a sick disk degrades durability, never serving.
+// fatal — a sick disk degrades durability, never serving. Once
+// StoreFailureBudget consecutive appends fail the writer stops touching
+// the store entirely (serving-only mode): batches keep draining so the
+// queue never stalls, but they are dropped and counted.
 func (s *Server) persistLoop() {
 	defer s.persistWG.Done()
+	streak := 0
 	for batch := range s.persistCh {
+		if s.storeDegraded.Load() {
+			s.met.walDropped.Add(int64(len(batch)))
+			continue
+		}
 		if err := s.cfg.Store.Append(batch...); err != nil {
 			s.met.walErrors.Add(int64(len(batch)))
-		} else {
-			s.met.walAppended.Add(int64(len(batch)))
+			s.met.storeWriteErrors.Add(1)
+			streak++
+			if b := s.cfg.StoreFailureBudget; b > 0 && streak >= b {
+				s.storeDegraded.Store(true)
+			}
+			continue
+		}
+		streak = 0
+		s.met.walAppended.Add(int64(len(batch)))
+		if fn := s.hooks.OnPersist; fn != nil {
+			fn(s.cfg.Store.LastSeq())
 		}
 	}
 }
@@ -256,11 +315,19 @@ func (s *Server) checkpointLoop() {
 }
 
 // checkpointNow writes one full checkpoint of the merged engine state.
+// A degraded store is left alone — the disk already proved sick.
 func (s *Server) checkpointNow() {
+	if s.storeDegraded.Load() {
+		return
+	}
 	if err := s.cfg.Store.Checkpoint(s.ExportState()); err != nil {
 		s.met.ckptErrors.Add(1)
 	}
 }
+
+// StoreDegraded reports whether the persist writer gave up on the store
+// after exhausting its write-failure budget.
+func (s *Server) StoreDegraded() bool { return s.storeDegraded.Load() }
 
 // ExportState merges every shard's durable state into one engine state
 // (keys are disjoint across shards, so merging is a union; the clock is
@@ -411,13 +478,68 @@ func (s *Server) shardFor(k mapmatch.Key) *shard {
 	return s.shards[shardIndex(k, len(s.shards))]
 }
 
+// EstimateFor returns one key's published estimate from its owning
+// shard.
+func (s *Server) EstimateFor(k mapmatch.Key) (core.Estimate, bool) {
+	return s.shardFor(k).engine.EstimateFor(k)
+}
+
+// StreamNow returns the newest stream clock across the shards.
+func (s *Server) StreamNow() float64 {
+	now := 0.0
+	for _, sh := range s.shards {
+		if t := sh.engine.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// PrimeResults publishes externally supplied results into the owning
+// shards' engines — the cluster failover path promoting replicated
+// estimates. It returns how many results were accepted. The promoted
+// estimates flow through the normal persist diff, so a new primary also
+// makes them durable locally.
+func (s *Server) PrimeResults(rs []core.Result) int {
+	byShard := make(map[int][]core.Result)
+	for _, r := range rs {
+		if r.Err != nil || r.Cycle <= 0 {
+			continue
+		}
+		idx := shardIndex(r.Key, len(s.shards))
+		byShard[idx] = append(byShard[idx], r)
+	}
+	n := 0
+	for idx, batch := range byShard {
+		s.shards[idx].engine.Prime(batch...)
+		n += len(batch)
+	}
+	return n
+}
+
+// SourceStatuses snapshots the supervised ingest sources, or nil before
+// RunSources.
+func (s *Server) SourceStatuses() []ingest.SourceStatus {
+	sup := s.supervisor()
+	if sup == nil {
+		return nil
+	}
+	return sup.Snapshot()
+}
+
 // ListenAndServe serves the HTTP API on addr with the configured
 // timeouts until ctx is cancelled, then shuts down gracefully, waiting
 // up to ShutdownGrace for in-flight requests.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return s.ServeHandler(ctx, addr, s.Handler())
+}
+
+// ServeHandler is ListenAndServe with a caller-supplied root handler —
+// the cluster layer wraps the server's handler with ring routing.
+func (s *Server) ServeHandler(ctx context.Context, addr string, h http.Handler) error {
 	hs := &http.Server{
 		Addr:         addr,
-		Handler:      s.Handler(),
+		Handler:      h,
 		ReadTimeout:  s.cfg.ReadTimeout,
 		WriteTimeout: s.cfg.WriteTimeout,
 		IdleTimeout:  s.cfg.IdleTimeout,

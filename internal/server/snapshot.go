@@ -50,16 +50,29 @@ type snapshotCache struct {
 	versions []uint64
 	etag     string
 	body     []byte
-	// degraded is true when the cached body holds no fresh approach —
-	// the whole-city answer is best-effort, and /v1/snapshot says so
-	// with the degraded-mode header.
-	degraded bool
+	// worst is the worst health label across the cached approaches
+	// ("stale" for an empty snapshot) — /v1/snapshot's health header.
+	worst string
 }
 
-// snapshot returns the current ETag, rendered body and whether the
-// snapshot is degraded (no fresh approach), rebuilding only when some
-// shard's engine version moved since the cached copy.
-func (s *Server) snapshot() (etag string, body []byte, degraded bool) {
+// healthRank orders health labels for the snapshot's worst-across-keys
+// header; unknown labels rank worst.
+func healthRank(h string) int {
+	switch h {
+	case "", "fresh":
+		return 0
+	case "stale":
+		return 1
+	case "quarantined":
+		return 2
+	}
+	return 3
+}
+
+// snapshot returns the current ETag, rendered body and the worst health
+// across the rendered approaches, rebuilding only when some shard's
+// engine version moved since the cached copy.
+func (s *Server) snapshot() (etag string, body []byte, worst string) {
 	cur := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
 		cur[i] = sh.engine.Version()
@@ -67,9 +80,9 @@ func (s *Server) snapshot() (etag string, body []byte, degraded bool) {
 	s.snap.mu.Lock()
 	defer s.snap.mu.Unlock()
 	if s.snap.body != nil && versionsEqual(s.snap.versions, cur) {
-		return s.snap.etag, s.snap.body, s.snap.degraded
+		return s.snap.etag, s.snap.body, s.snap.worst
 	}
-	fresh := 0
+	worst = ""
 	doc := snapshotJSON{Approaches: []approachJSON{}}
 	for i, sh := range s.shards {
 		snap, v := sh.engine.SnapshotVersioned()
@@ -78,12 +91,17 @@ func (s *Server) snapshot() (etag string, body []byte, degraded bool) {
 			doc.Now = now
 		}
 		for k, est := range snap {
-			doc.Approaches = append(doc.Approaches, approachFromEstimate(k, est))
+			aj := approachFromEstimate(k, est)
+			aj.Health = s.overrideHealth(k, aj.Health)
+			doc.Approaches = append(doc.Approaches, aj)
 			s.met.estimateAge.Observe(est.Age)
-			if est.Health == core.Fresh {
-				fresh++
+			if healthRank(aj.Health) > healthRank(worst) {
+				worst = aj.Health
 			}
 		}
+	}
+	if len(doc.Approaches) == 0 {
+		worst = "stale" // nothing published yet: the empty answer is best-effort
 	}
 	sort.Slice(doc.Approaches, func(i, j int) bool {
 		a, b := doc.Approaches[i], doc.Approaches[j]
@@ -101,8 +119,27 @@ func (s *Server) snapshot() (etag string, body []byte, degraded bool) {
 	s.snap.versions = cur
 	s.snap.body = body
 	s.snap.etag = etagFor(cur, len(doc.Approaches))
-	s.snap.degraded = fresh == 0
-	return s.snap.etag, s.snap.body, s.snap.degraded
+	s.snap.worst = worst
+	return s.snap.etag, s.snap.body, s.snap.worst
+}
+
+// SnapshotApproach and SnapshotDoc expose the snapshot wire format to
+// the cluster layer, which parses, merges and re-renders per-node
+// snapshot bodies for the scatter-gather /v1/snapshot.
+type (
+	SnapshotApproach = approachJSON
+	SnapshotDoc      = snapshotJSON
+)
+
+// SnapshotBytes returns the cached /v1/snapshot body, its ETag and the
+// worst health across the rendered approaches.
+func (s *Server) SnapshotBytes() (etag string, body []byte, worst string) {
+	return s.snapshot()
+}
+
+// ApproachFromEstimate renders one estimate in the snapshot wire format.
+func ApproachFromEstimate(k mapmatch.Key, est core.Estimate) SnapshotApproach {
+	return approachFromEstimate(k, est)
 }
 
 // approachFromEstimate renders one engine estimate for the API.

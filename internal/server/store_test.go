@@ -289,6 +289,64 @@ func TestStoreEndpointsWithoutStore(t *testing.T) {
 	}
 }
 
+// TestStoreWriteFailureDegradesToServingOnly pulls the store out from
+// under a running daemon: once StoreFailureBudget consecutive appends
+// fail the server latches serving-only mode — /healthz says so, the
+// error counter and gauge appear in /metrics, checkpoints stop, and
+// the read path keeps answering.
+func TestStoreWriteFailureDegradesToServingOnly(t *testing.T) {
+	dir := t.TempDir()
+	scfg := store.DefaultConfig()
+	scfg.SyncEvery = 1
+	scfg.CompactEvery = 0
+	st, err := store.Open(dir, scfg)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.Store = st
+		cfg.TickEvery = 5 * time.Millisecond
+		cfg.CheckpointInterval = 0
+		cfg.StoreFailureBudget = 1
+	})
+	s.Start()
+
+	// Fail the disk out from under the daemon: every append now errors.
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+	k := mapmatch.Key{Light: 3, Approach: lights.NorthSouth}
+	s.shardFor(k).engine.Prime(primedResult(k))
+	waitFor(t, "store to degrade", s.StoreDegraded)
+
+	hz := get(t, s, "/healthz", nil)
+	if hz.Code != http.StatusOK || !strings.Contains(hz.Body.String(), `"store":"degraded"`) {
+		t.Fatalf("healthz after store failure = %d %s, want 200 with store degraded", hz.Code, hz.Body.String())
+	}
+	// Serving-only: reads still answer.
+	if rec := get(t, s, "/v1/snapshot", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/snapshot while degraded: %d", rec.Code)
+	}
+	if rec := get(t, s, "/v1/state/3/NS?t=10", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/state while degraded: %d", rec.Code)
+	}
+	body := get(t, s, "/metrics", nil).Body.String()
+	if !strings.Contains(body, "lightd_store_degraded 1") {
+		t.Fatal("/metrics missing lightd_store_degraded 1")
+	}
+	if !strings.Contains(body, "lightd_store_write_errors_total 1") {
+		t.Fatal("/metrics missing lightd_store_write_errors_total")
+	}
+
+	// Further publishes are dropped, not retried into the dead store,
+	// and shutdown skips the checkpoint instead of erroring.
+	s.shardFor(k).engine.Prime(primedResult(k))
+	s.StopIngest()
+	if got := st.Stats().CheckpointsWritten; got != 0 {
+		t.Fatalf("degraded shutdown wrote %d checkpoints, want 0", got)
+	}
+}
+
 // TestMetricsExposeStoreSeries checks the WAL/compaction series appear
 // once a store is configured.
 func TestMetricsExposeStoreSeries(t *testing.T) {
