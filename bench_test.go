@@ -489,6 +489,39 @@ func BenchmarkServerSnapshot(b *testing.B) {
 	})
 }
 
+// BenchmarkServerState measures the per-key countdown answer — the
+// hottest read-path request — end to end through the handler. The
+// encode path is shared with /v1/watch event frames (internal/pubsub),
+// so its allocation count is the one that multiplies across a
+// subscriber fleet; BENCH_7.json records the before/after.
+func BenchmarkServerState(b *testing.B) {
+	srv, err := server.New(nil, server.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	srv.PrimeResults([]core.Result{{
+		Key:   key,
+		Cycle: 100, Red: 40, Green: 60,
+		WindowStart: 0, WindowEnd: 1800,
+		Records: 120, Quality: 0.5,
+	}})
+	h := srv.Handler()
+	req := httptest.NewRequest("GET", "/v1/state/7/NS?t=1850", nil)
+	if rec := httptest.NewRecorder(); true {
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+}
+
 // --- Durable store: WAL append and time-travel queries ---
 
 // walResult builds a distinct estimate for one append.

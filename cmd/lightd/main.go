@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET /v1/state/{light}/{approach}   current phase + countdown ("red, 12 s to green")
+//	GET /v1/watch?keys=7:NS,...        SSE push: estimate deltas as rounds publish
 //	GET /v1/snapshot                   every approach, cached, ETag-revalidated
 //	GET /healthz                       200 while any estimate is fresh, else 503
 //	GET /metrics                       Prometheus text format
@@ -65,6 +66,8 @@ func main() {
 	grace := flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown budget for in-flight requests")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "ingest drain budget at shutdown before giving up (0 = wait forever)")
 	maxInflight := flag.Int("max-inflight", server.DefaultConfig().MaxInFlight, "max concurrently served HTTP requests before shedding 429s; 0 disables the limiter")
+	maxSubscribers := flag.Int("max-subscribers", server.DefaultConfig().MaxSubscribers, "max concurrent /v1/watch subscriptions before shedding 429s; 0 = unlimited")
+	maxWatchKeys := flag.Int("max-watch-keys", server.DefaultConfig().MaxWatchKeys, "max keys on a single /v1/watch subscription")
 	debugEndpoints := flag.Bool("debug-endpoints", false, "register /debug/* drill handlers (panic, block)")
 	reconnectMin := flag.Duration("reconnect-min", 0, "initial dial-source reconnect backoff (0 = default)")
 	reconnectMax := flag.Duration("reconnect-max", 0, "reconnect backoff cap (0 = default)")
@@ -115,6 +118,14 @@ func main() {
 		fatal(fmt.Errorf("-max-inflight must be >= 0, got %d", *maxInflight))
 	}
 	cfg.MaxInFlight = *maxInflight
+	if *maxSubscribers < 0 {
+		fatal(fmt.Errorf("-max-subscribers must be >= 0, got %d", *maxSubscribers))
+	}
+	cfg.MaxSubscribers = *maxSubscribers
+	if *maxWatchKeys < 0 {
+		fatal(fmt.Errorf("-max-watch-keys must be >= 0, got %d", *maxWatchKeys))
+	}
+	cfg.MaxWatchKeys = *maxWatchKeys
 	cfg.DebugEndpoints = *debugEndpoints
 	if *reconnectMin > 0 {
 		cfg.Ingest.BackoffMin = *reconnectMin

@@ -35,6 +35,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/state/{light}/{approach}", n.routeState)
 	mux.HandleFunc("GET /v1/history/{light}/{approach}", n.routeHistory)
 	mux.HandleFunc("GET /v1/snapshot", n.routeSnapshot)
+	mux.HandleFunc("GET /v1/watch", n.routeWatch)
 	mux.HandleFunc("POST /cluster/v1/gossip", n.handleGossip)
 	mux.HandleFunc("GET /cluster/v1/wal", n.handleWAL)
 	mux.HandleFunc("GET /cluster/v1/ckpt", n.handleCkpt)
@@ -150,6 +151,59 @@ func (n *Node) writeReplicaState(w http.ResponseWriter, r *http.Request, k mapma
 	}
 	w.Header().Set(healthHeader, "stale")
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// routeWatch places a /v1/watch subscription on the keys' primary. A
+// watch is a long-lived stream, so it is never proxied through a peer
+// (a relaying node would pin a connection, a goroutine and a
+// subscription slot per client for the stream's whole lifetime, and
+// every hop would re-buffer the events the deadline/eviction machinery
+// is timing). Instead a non-owner answers 307 with the owner's URL and
+// the client reconnects directly — SSE clients already reconnect by
+// design, and Last-Event-ID makes the hop lossless. For the same
+// reason a multi-key watch must not span owners: there is no node that
+// can serve it without proxying, so it is rejected with the owner
+// split spelled out and the client subscribes per owner instead.
+func (n *Node) routeWatch(w http.ResponseWriter, r *http.Request) {
+	keys, err := server.ParseWatchKeys(r.URL.Query().Get("keys"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	ring := n.ringNow()
+	owner := ""
+	for _, k := range keys {
+		o := ring.Primary(k, n.mem.Alive)
+		if o == "" {
+			continue // no alive owner: serve what we have locally
+		}
+		if owner == "" {
+			owner = o
+			continue
+		}
+		if o != owner {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf(
+				"watch keys span cluster owners (%s and %s own different keys); open one watch per owner", owner, o)})
+			return
+		}
+	}
+	if owner == "" || owner == n.cfg.NodeID {
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	base := n.mem.URL(owner)
+	if base == "" {
+		// Owner known but unreachable by URL: serving locally degrades to
+		// replica-backed answers rather than refusing the stream.
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	u := base + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		u += "?" + q
+	}
+	n.met.watchRedirects.Add(1)
+	http.Redirect(w, r, u, http.StatusTemporaryRedirect)
 }
 
 // routeHistory routes a history query to the key's current primary —

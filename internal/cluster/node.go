@@ -100,6 +100,9 @@ type nodeMetrics struct {
 	pulls         atomic.Int64
 	pullErrors    atomic.Int64
 	promotions    atomic.Int64
+	// watchRedirects counts /v1/watch subscriptions bounced to their
+	// key's owner (long-lived streams are redirected, never proxied).
+	watchRedirects atomic.Int64
 }
 
 // Node wires one server into the cluster: it owns the ring, the
@@ -630,4 +633,6 @@ func (n *Node) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "lightd_cluster_replica_pulls_total{outcome=\"error\"} %d\n", n.met.pullErrors.Load())
 	fmt.Fprintln(w, "# TYPE lightd_cluster_promotions_total counter")
 	fmt.Fprintf(w, "lightd_cluster_promotions_total %d\n", n.met.promotions.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_watch_redirects_total counter")
+	fmt.Fprintf(w, "lightd_cluster_watch_redirects_total %d\n", n.met.watchRedirects.Load())
 }

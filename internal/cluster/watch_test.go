@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+
+	"taxilight/internal/core"
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+)
+
+// watchKeyParam renders one key in the /v1/watch keys= wire form.
+func watchKeyParam(k mapmatch.Key) string {
+	app := "NS"
+	if k.Approach == lights.EastWest {
+		app = "EW"
+	}
+	return itoa(int64(k.Light)) + ":" + app
+}
+
+// TestWatchRedirectsToOwner pins the cluster boundary for the push read
+// path: a watch subscription is a long-lived stream, so a non-owner
+// answers 307 to the key's primary instead of proxying, a multi-key
+// watch spanning owners is rejected outright, and the owner itself
+// serves the stream.
+func TestWatchRedirectsToOwner(t *testing.T) {
+	nodes := startTestCluster(t, []string{"a", "b"})
+	a, b := nodes["a"], nodes["b"]
+	waitFor(t, "members alive", func() bool {
+		return a.node.mem.Alive("b") && b.node.mem.Alive("a")
+	})
+	ring := a.node.ringNow()
+	keyA := keyOwnedBy(t, ring, "a")
+	keyB := keyOwnedBy(t, ring, "b")
+	a.srv.PrimeResults([]core.Result{testResult(keyA)})
+
+	// Non-owner: 307 to the primary, query preserved, redirect counted.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(b.url + "/v1/watch?keys=" + watchKeyParam(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner watch status = %d, want 307", resp.StatusCode)
+	}
+	wantLoc := a.url + "/v1/watch?keys=" + watchKeyParam(keyA)
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("Location = %q, want %q", loc, wantLoc)
+	}
+	_, _, met := httpGet(t, b.url+"/metrics")
+	if !strings.Contains(met, "lightd_cluster_watch_redirects_total 1") {
+		t.Fatalf("redirect not counted on /metrics")
+	}
+
+	// Spanning owners: a clear 400, no redirect ping-pong.
+	code, _, body := httpGet(t, b.url+"/v1/watch?keys="+watchKeyParam(keyA)+","+watchKeyParam(keyB))
+	if code != http.StatusBadRequest {
+		t.Fatalf("spanning watch status = %d, want 400", code)
+	}
+	if !strings.Contains(body, "span") {
+		t.Fatalf("spanning watch error does not explain the owner split: %s", body)
+	}
+
+	// The owner serves the stream: catch-up event arrives.
+	sresp, err := http.Get(a.url + "/v1/watch?keys=" + watchKeyParam(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("owner watch status = %d, want 200", sresp.StatusCode)
+	}
+	sc := bufio.NewScanner(sresp.Body)
+	sawData := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			if !strings.Contains(line, `"cycle_s":100`) {
+				t.Fatalf("catch-up event missing the primed estimate: %s", line)
+			}
+			sawData = true
+			break
+		}
+	}
+	if !sawData {
+		t.Fatalf("owner stream produced no event (scan err: %v)", sc.Err())
+	}
+}

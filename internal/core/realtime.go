@@ -297,7 +297,7 @@ func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
 	e.mu.Unlock()
 	var out []KeyedChange
 	for runAt <= t {
-		ch, err := e.estimateRound(runAt)
+		ch, stats, err := e.estimateRound(runAt)
 		if err != nil {
 			return out, err
 		}
@@ -306,7 +306,14 @@ func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
 		e.mu.Lock()
 		e.nextRun = runAt
 		e.version++
+		stats.Version = e.version
 		e.mu.Unlock()
+		// The observer fires after the version bump so a consumer reading
+		// Version (or building an ETag from it) sees a value that already
+		// covers this round's publishes — the push read path depends on it.
+		if obs := e.roundObserver; obs != nil {
+			obs(stats)
+		}
 	}
 	e.mu.Lock()
 	e.trimLocked()
@@ -328,6 +335,14 @@ type RoundStats struct {
 	// e.mu was held across the snapshot and publish sections — the only
 	// part during which readers and ingest wait.
 	Duration, LockHold time.Duration
+	// Published lists the keys whose estimate was updated by this round —
+	// the delta a push read path fans out to subscribers. Keys whose
+	// identification failed or whose result lost the version fence are
+	// not in it.
+	Published []mapmatch.Key
+	// Version is the engine version after this round's bump: a snapshot
+	// taken at Version already reflects every key in Published.
+	Version uint64
 }
 
 // SetRoundObserver registers fn to run after every estimation round,
@@ -345,7 +360,7 @@ func (e *Engine) SetRoundObserver(fn func(RoundStats)) {
 // dirty — their buffers keep filling, so a recovered approach
 // re-estimates immediately on release, but no pipeline work is spent on
 // a key that keeps failing.
-func (e *Engine) estimateRound(at float64) ([]KeyedChange, error) {
+func (e *Engine) estimateRound(at float64) ([]KeyedChange, RoundStats, error) {
 	roundStart := time.Now()
 	t0 := at - e.cfg.Window
 
@@ -444,15 +459,16 @@ func (e *Engine) estimateRound(at float64) ([]KeyedChange, error) {
 	sortKeys(recompute)
 	results, err := runPipelineKeys(view, recompute, t0, at, e.cfg.Pipeline)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 
 	// --- Publish: fold the results into the served state.
 	pubStart := time.Now()
-	out, err := e.publishRound(at, recompute, results, covered)
+	out, published, err := e.publishRound(at, recompute, results, covered)
 	lockHold += time.Since(pubStart)
 
 	stats.Recomputed = len(recompute)
+	stats.Published = published
 	stats.Duration = time.Since(roundStart)
 	stats.LockHold = lockHold
 	redone := make(map[mapmatch.Key]bool, len(recompute))
@@ -468,10 +484,7 @@ func (e *Engine) estimateRound(at float64) ([]KeyedChange, error) {
 	}
 	e.mu.RUnlock()
 	stats.Carried = carried
-	if obs := e.roundObserver; obs != nil {
-		obs(stats)
-	}
-	return out, err
+	return out, stats, err
 }
 
 // publishRound applies one round's results under e.mu: failure ledger,
@@ -479,10 +492,11 @@ func (e *Engine) estimateRound(at float64) ([]KeyedChange, error) {
 // never overwrites an estimate from a newer window (version fencing) —
 // estMu makes overlapping rounds impossible today, but the fence keeps
 // publication safe even if rounds ever race.
-func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapmatch.Key]Result, covered bool) ([]KeyedChange, error) {
+func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapmatch.Key]Result, covered bool) ([]KeyedChange, []mapmatch.Key, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var out []KeyedChange
+	var published []mapmatch.Key
 	for _, k := range keys {
 		res := results[k]
 		if res.Err != nil {
@@ -504,7 +518,7 @@ func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapma
 				var err error
 				h, err = NewHistory(e.cfg.History)
 				if err != nil {
-					return out, err
+					return out, published, err
 				}
 				e.histories[k] = h
 			}
@@ -514,6 +528,7 @@ func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapma
 			}
 		}
 		e.estimates[k] = res
+		published = append(published, k)
 		if !covered || res.Quality < e.cfg.MinQuality {
 			continue
 		}
@@ -522,7 +537,7 @@ func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapma
 			var err error
 			mon, err = NewMonitor(e.cfg.Monitor)
 			if err != nil {
-				return out, err
+				return out, published, err
 			}
 			e.monitors[k] = mon
 		}
@@ -530,7 +545,7 @@ func (e *Engine) publishRound(at float64, keys []mapmatch.Key, results map[mapma
 			out = append(out, KeyedChange{Key: k, Change: c})
 		}
 	}
-	return out, nil
+	return out, published, nil
 }
 
 // trimLocked drops buffered records that can no longer enter any window.

@@ -1,0 +1,145 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"taxilight/internal/core"
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+)
+
+func testEstimate() core.Estimate {
+	return core.Estimate{
+		Result: core.Result{
+			Key:             mapmatch.Key{Light: 7, Approach: lights.NorthSouth},
+			Cycle:           100,
+			Red:             40,
+			Green:           60,
+			GreenToRedPhase: 0,
+			WindowStart:     0,
+			WindowEnd:       1800,
+			Records:         120,
+			Quality:         0.5,
+		},
+		Age: 50,
+	}
+}
+
+func TestAppendStateValidJSON(t *testing.T) {
+	k := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	out := AppendState(nil, k, 1850, testEstimate(), "live", 42, true)
+
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("AppendState produced invalid JSON: %v\n%s", err, out)
+	}
+	if doc["light"] != float64(7) || doc["approach"] != "NS" {
+		t.Fatalf("key fields wrong: %v", doc)
+	}
+	if doc["health"] != "live" || doc["version"] != float64(42) {
+		t.Fatalf("health/version wrong: %v", doc)
+	}
+	// t=1850 with cycle 100 anchored at 0, green-to-red at phase 0:
+	// phase 50 is in the red span [0,40)? No — phase 50 >= 40, so green.
+	if doc["state"] != "green" && doc["state"] != "red" {
+		t.Fatalf("state missing: %v", doc)
+	}
+	if _, ok := doc["countdown_s"]; !ok {
+		t.Fatalf("countdown_s missing: %v", doc)
+	}
+	est, ok := doc["estimate"].(map[string]any)
+	if !ok {
+		t.Fatalf("estimate object missing: %v", doc)
+	}
+	for _, field := range []string{"cycle_s", "red_s", "green_s", "green_to_red_phase_s", "window_start_s", "window_end_s", "quality", "records", "age_s", "health"} {
+		if _, ok := est[field]; !ok {
+			t.Fatalf("estimate field %q missing: %v", field, est)
+		}
+	}
+}
+
+func TestAppendStateUnknownAndNoEstimate(t *testing.T) {
+	k := mapmatch.Key{Light: 3, Approach: lights.EastWest}
+	bad := core.Estimate{Result: core.Result{Key: k, Err: errors.New("nope")}}
+	out := AppendState(nil, k, 10, bad, "failed", 0, false)
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc["state"] != "unknown" {
+		t.Fatalf("want state unknown, got %v", doc["state"])
+	}
+	if _, ok := doc["estimate"]; ok {
+		t.Fatalf("failed estimate must not serialize an estimate object: %v", doc)
+	}
+	if _, ok := doc["version"]; ok {
+		t.Fatalf("version must be omitted when withVersion is false: %v", doc)
+	}
+}
+
+func TestAppendEventFrameSSEFraming(t *testing.T) {
+	k := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	ev := Event{Key: k, Est: testEstimate(), Health: "live", Version: 9}
+	out := AppendEventFrame(nil, "5-00000000deadbeef", k, 1850, ev)
+
+	s := string(out)
+	if !strings.HasPrefix(s, "id: 5-00000000deadbeef\nevent: estimate\ndata: ") {
+		t.Fatalf("bad frame header: %q", s)
+	}
+	if !strings.HasSuffix(s, "\n\n") {
+		t.Fatalf("frame missing blank-line terminator: %q", s)
+	}
+	data := strings.TrimSuffix(strings.SplitAfterN(s, "data: ", 2)[1], "\n\n")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(data), &doc); err != nil {
+		t.Fatalf("frame data not JSON: %v\n%s", err, data)
+	}
+	if doc["version"] != float64(9) {
+		t.Fatalf("event version missing: %v", doc)
+	}
+}
+
+func TestAppendEventFrameTemplateMatchesInline(t *testing.T) {
+	k := mapmatch.Key{Light: 12, Approach: lights.EastWest}
+	ev := Event{Key: k, Est: testEstimate(), Health: "stale", Version: 3}
+	tmpl := AppendKeyPrefix(nil, k)
+	withTmpl := appendEventFrame(nil, "id1", tmpl, k, 100, ev)
+	inline := appendEventFrame(nil, "id1", nil, k, 100, ev)
+	if !bytes.Equal(withTmpl, inline) {
+		t.Fatalf("template and inline encodes differ:\n%s\n%s", withTmpl, inline)
+	}
+}
+
+func TestAppendStateNonFiniteDegrades(t *testing.T) {
+	k := mapmatch.Key{Light: 1, Approach: lights.NorthSouth}
+	est := testEstimate()
+	est.Quality = nan()
+	out := AppendState(nil, k, 50, est, "live", 1, true)
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("NaN field corrupted the document: %v\n%s", err, out)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestAppendStateZeroAlloc pins the encoder's allocation budget: with a
+// warm buffer the full state document must encode without allocating.
+func TestAppendStateZeroAlloc(t *testing.T) {
+	k := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	est := testEstimate()
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendState(buf[:0], k, 1850, est, "live", 42, true)
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendState allocates %v times per op with a warm buffer; want 0", allocs)
+	}
+}

@@ -1,0 +1,240 @@
+package pubsub
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+)
+
+var (
+	keyNS = mapmatch.Key{Light: 7, Approach: lights.NorthSouth}
+	keyEW = mapmatch.Key{Light: 7, Approach: lights.EastWest}
+)
+
+func testEvent(k mapmatch.Key, version uint64) Event {
+	est := testEstimate()
+	est.Key = k
+	return Event{Key: k, Est: est, Health: "live", Version: version}
+}
+
+func TestSubscribePublishDelta(t *testing.T) {
+	h := NewHub(Config{})
+	sub, err := h.Subscribe([]mapmatch.Key{keyNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(sub)
+
+	// Publish a round that updates both approaches: the NS subscriber
+	// must see exactly its own key's event (delta semantics come from
+	// per-key registration, not client-side filtering).
+	st := h.Publish("round-1", 100, time.Now().UnixNano(), []Event{
+		testEvent(keyNS, 1), testEvent(keyEW, 1),
+	})
+	if st.Delivered != 1 || st.Evicted != 0 {
+		t.Fatalf("publish stats = %+v, want 1 delivered 0 evicted", st)
+	}
+	select {
+	case f := <-sub.Frames():
+		body := string(f.Bytes())
+		if !strings.Contains(body, `"approach":"NS"`) {
+			t.Fatalf("frame is not for the subscribed key: %s", body)
+		}
+		if !strings.Contains(body, "id: round-1\n") {
+			t.Fatalf("frame missing round id: %s", body)
+		}
+		f.Release()
+	default:
+		t.Fatal("no frame enqueued")
+	}
+	select {
+	case <-sub.Frames():
+		t.Fatal("subscriber received an event for a key it did not watch")
+	default:
+	}
+}
+
+func TestPublishSharedFrameFanout(t *testing.T) {
+	h := NewHub(Config{})
+	const n = 16
+	subs := make([]*Subscriber, n)
+	for i := range subs {
+		s, err := h.Subscribe([]mapmatch.Key{keyNS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	st := h.Publish("r", 100, time.Now().UnixNano(), []Event{testEvent(keyNS, 1)})
+	if st.Delivered != n {
+		t.Fatalf("delivered %d, want %d", st.Delivered, n)
+	}
+	var first *Frame
+	for i, s := range subs {
+		f := <-s.Frames()
+		if i == 0 {
+			first = f
+		} else if f != first {
+			t.Fatal("fan-out did not share one frame across subscribers")
+		}
+		f.Release()
+	}
+	for _, s := range subs {
+		h.Unsubscribe(s)
+	}
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after unsubscribe, want 0", h.Subscribers())
+	}
+}
+
+func TestSubscribeCaps(t *testing.T) {
+	h := NewHub(Config{MaxSubscribers: 1, MaxKeysPerSub: 1})
+	if _, err := h.Subscribe(nil); !errors.Is(err, ErrNoKeys) {
+		t.Fatalf("empty keys: got %v, want ErrNoKeys", err)
+	}
+	if _, err := h.Subscribe([]mapmatch.Key{keyNS, keyEW}); !errors.Is(err, ErrTooManyKeys) {
+		t.Fatalf("key cap: got %v, want ErrTooManyKeys", err)
+	}
+	sub, err := h.Subscribe([]mapmatch.Key{keyNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Subscribe([]mapmatch.Key{keyEW}); !errors.Is(err, ErrSubscriberLimit) {
+		t.Fatalf("subscriber cap: got %v, want ErrSubscriberLimit", err)
+	}
+	h.Unsubscribe(sub)
+	if _, err := h.Subscribe([]mapmatch.Key{keyEW}); err != nil {
+		t.Fatalf("slot not freed after unsubscribe: %v", err)
+	}
+}
+
+// TestPublishNeverBlocksOnStalledSubscribers is the hub-level half of
+// the slow-subscriber guarantee: with EVERY subscriber's queue full,
+// Publish must complete promptly, evicting the stragglers instead of
+// waiting on them.
+func TestPublishNeverBlocksOnStalledSubscribers(t *testing.T) {
+	h := NewHub(Config{QueueLen: 1})
+	const n = 8
+	subs := make([]*Subscriber, n)
+	for i := range subs {
+		s, err := h.Subscribe([]mapmatch.Key{keyNS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	// Fill every queue (depth 1), then publish again with nobody reading.
+	h.Publish("r1", 100, time.Now().UnixNano(), []Event{testEvent(keyNS, 1)})
+
+	done := make(chan PublishStats, 1)
+	go func() {
+		done <- h.Publish("r2", 200, time.Now().UnixNano(), []Event{testEvent(keyNS, 2)})
+	}()
+	select {
+	case st := <-done:
+		if st.Evicted != n {
+			t.Fatalf("evicted %d, want %d", st.Evicted, n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on stalled subscribers")
+	}
+	for _, s := range subs {
+		select {
+		case <-s.Kicked():
+		default:
+			t.Fatal("stalled subscriber not kicked")
+		}
+		if got := s.EvictReason(); got != EvictOverflow {
+			t.Fatalf("evict reason = %v, want overflow", got)
+		}
+		h.Unsubscribe(s)
+	}
+	snap := h.Snapshot()
+	if snap.EvictedOverflow != n {
+		t.Fatalf("overflow eviction counter = %d, want %d", snap.EvictedOverflow, n)
+	}
+}
+
+func TestEvictDeadlineCountsOnce(t *testing.T) {
+	h := NewHub(Config{})
+	sub, err := h.Subscribe([]mapmatch.Key{keyNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Evict(EvictDeadline)
+	sub.Evict(EvictDeadline) // idempotent: must not double-count or re-close
+	if got := h.Snapshot().EvictedDeadline; got != 1 {
+		t.Fatalf("deadline eviction counter = %d, want 1", got)
+	}
+	// An evicted subscriber is skipped by subsequent publishes.
+	st := h.Publish("r", 100, time.Now().UnixNano(), []Event{testEvent(keyNS, 1)})
+	if st.Delivered != 0 {
+		t.Fatalf("publish delivered %d to an evicted subscriber", st.Delivered)
+	}
+	h.Unsubscribe(sub)
+}
+
+// TestConcurrentChurn shakes the hub under -race: publishers, consuming
+// subscribers, and churning subscribe/unsubscribe all at once.
+func TestConcurrentChurn(t *testing.T) {
+	h := NewHub(Config{QueueLen: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := []Event{testEvent(keyNS, 1), testEvent(keyEW, 1)}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Publish("r", float64(i), int64(i), ev)
+			}
+		}()
+	}
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sub, err := h.Subscribe([]mapmatch.Key{keyNS, keyEW})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 4; i++ {
+					select {
+					case f := <-sub.Frames():
+						_ = f.Bytes()
+						f.Release()
+					case <-sub.Kicked():
+						i = 4
+					case <-stop:
+						i = 4
+					}
+				}
+				h.Unsubscribe(sub)
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := h.Subscribers(); n != 0 {
+		t.Fatalf("subscriber gauge = %d after churn, want 0", n)
+	}
+}

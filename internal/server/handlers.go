@@ -16,6 +16,7 @@ import (
 	"taxilight/internal/ingest"
 	"taxilight/internal/lights"
 	"taxilight/internal/mapmatch"
+	"taxilight/internal/pubsub"
 	"taxilight/internal/roadnet"
 )
 
@@ -38,6 +39,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.guard(false, s.handleState)))
 	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.guard(false, s.handleSnapshot)))
 	mux.HandleFunc("GET /v1/history/{light}/{approach}", s.instrument("/v1/history", s.guard(false, s.handleHistory)))
+	// /v1/watch is exempt from the in-flight limiter (streams are
+	// long-lived; the hub's subscriber cap is the real guard) and not
+	// instrumented (a stream's duration is its lifetime, not a latency).
+	mux.HandleFunc("GET /v1/watch", s.guard(true, s.handleWatch))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.guard(true, s.handleHealthz)))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.guard(true, s.handleMetrics)))
 	if s.cfg.DebugEndpoints {
@@ -83,6 +88,11 @@ func (t *trackingWriter) Write(b []byte) (int, error) {
 	t.wrote = true
 	return t.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/SetWriteDeadline — without it every /v1/watch stream would die
+// on the first per-write deadline call.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
 // guard is the overload middleware. Shedding sheds *queriers*: health
 // and metrics are exempt so operators and load balancers can see the
@@ -199,14 +209,9 @@ func ParseStateKey(r *http.Request) (mapmatch.Key, error) {
 	if err != nil {
 		return mapmatch.Key{}, fmt.Errorf("bad light id %q", r.PathValue("light"))
 	}
-	var app lights.Approach
-	switch strings.ToUpper(r.PathValue("approach")) {
-	case "NS":
-		app = lights.NorthSouth
-	case "EW":
-		app = lights.EastWest
-	default:
-		return mapmatch.Key{}, fmt.Errorf("bad approach %q (want NS or EW)", r.PathValue("approach"))
+	app, err := parseApproach(r.PathValue("approach"))
+	if err != nil {
+		return mapmatch.Key{}, err
 	}
 	return mapmatch.Key{Light: roadnet.NodeID(light), Approach: app}, nil
 }
@@ -237,12 +242,6 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := stateJSON{
-		Light:    int64(key.Light),
-		Approach: key.Approach.String(),
-		T:        t,
-		State:    "unknown",
-	}
 	est, ok := sh.engine.EstimateFor(key)
 	if !ok {
 		// No estimate; the approach may still be known to the failure
@@ -252,26 +251,29 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no estimate for light %d approach %s", key.Light, key.Approach)})
 			return
 		}
-		resp.Health = s.overrideHealth(key, ah.State.String())
-		setHealthHeader(w, resp.Health)
-		writeJSON(w, http.StatusOK, resp)
+		health := s.overrideHealth(key, ah.State.String())
+		setHealthHeader(w, health)
+		writeJSON(w, http.StatusOK, stateJSON{
+			Light:    int64(key.Light),
+			Approach: key.Approach.String(),
+			T:        t,
+			State:    "unknown",
+			Health:   health,
+		})
 		return
 	}
-	resp.Health = s.overrideHealth(key, est.Health.String())
-	setHealthHeader(w, resp.Health)
-	aj := approachFromEstimate(key, est)
-	aj.Health = resp.Health
-	resp.Estimate = &aj
-	if state, until, ok := est.PhaseAt(t); ok {
-		resp.State = strings.ToLower(state.String())
-		resp.CountdownSeconds = &until
-		next := lights.Red
-		if state == lights.Red {
-			next = lights.Green
-		}
-		resp.NextState = strings.ToLower(next.String())
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// Hot path: the answer is assembled by the shared zero-alloc encoder
+	// (the same one /v1/watch frames use) into a pooled buffer —
+	// encoding/json never runs for a served estimate.
+	health := s.overrideHealth(key, est.Health.String())
+	setHealthHeader(w, health)
+	w.Header().Set("Content-Type", "application/json")
+	buf := pubsub.GetBuffer()
+	*buf = pubsub.AppendState((*buf)[:0], key, t, est, health, 0, false)
+	*buf = append(*buf, '\n')
+	w.WriteHeader(http.StatusOK)
+	w.Write(*buf)
+	pubsub.PutBuffer(buf)
 }
 
 // handleStateAsOf answers /v1/state?asof=T from the durable store: the
@@ -490,6 +492,8 @@ type healthzJSON struct {
 	// "ok" normally, "degraded" once the write-failure budget tripped
 	// and the daemon dropped to serving-only mode.
 	Store string `json:"store,omitempty"`
+	// WatchSubscribers is the live /v1/watch subscription census.
+	WatchSubscribers int `json:"watch_subscribers"`
 	// Cluster carries the cluster membership/ring section when the
 	// daemon runs as a cluster node.
 	Cluster any `json:"cluster,omitempty"`
@@ -523,6 +527,7 @@ func (s *Server) healthReport() healthzJSON {
 		Shards:               len(s.shards),
 		LastIngestAgeSeconds: -1,
 		WarmStartApproaches:  s.met.restoredCount.Load(),
+		WatchSubscribers:     s.hub.Subscribers(),
 	}
 	var lastIngest int64
 	for _, sh := range s.shards {
@@ -712,6 +717,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.latencies[ep].write(w, "lightd_http_request_duration_seconds", fmt.Sprintf(`path=%q`, ep))
 	}
 	m.latMu.Unlock()
+
+	hs := s.hub.Snapshot()
+	fmt.Fprintln(w, "# TYPE lightd_watch_subscribers gauge")
+	writeSample(w, "lightd_watch_subscribers", "", float64(hs.Subscribers))
+	fmt.Fprintln(w, "# TYPE lightd_watch_events_total counter")
+	writeSample(w, "lightd_watch_events_total", `outcome="enqueued"`, float64(hs.Delivered))
+	writeSample(w, "lightd_watch_events_total", `outcome="dropped"`, float64(hs.Dropped))
+	writeSample(w, "lightd_watch_events_total", `outcome="written"`, float64(m.watchEventsWritten.Load()))
+	fmt.Fprintln(w, "# TYPE lightd_watch_evictions_total counter")
+	writeSample(w, "lightd_watch_evictions_total", `reason="overflow"`, float64(hs.EvictedOverflow))
+	writeSample(w, "lightd_watch_evictions_total", `reason="deadline"`, float64(hs.EvictedDeadline))
+	fmt.Fprintln(w, "# TYPE lightd_watch_shed_total counter")
+	m.watchShed.write(w, "lightd_watch_shed_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_watch_publish_to_write_seconds histogram")
+	m.watchPublishToWrite.write(w, "lightd_watch_publish_to_write_seconds", "")
 
 	fmt.Fprintln(w, "# TYPE lightd_http_shed_total counter")
 	m.httpShed.write(w, "lightd_http_shed_total", "")

@@ -158,6 +158,14 @@ type metrics struct {
 	httpShed   counter
 	httpPanics counter
 
+	// Watch (push read path) series: subscriptions shed at the hub cap,
+	// events actually written to client sockets, and the latency from a
+	// round's publish to the event landing on the socket. Subscriber
+	// gauge and eviction counters live on the hub itself.
+	watchShed           counter
+	watchEventsWritten  counter
+	watchPublishToWrite *histogram
+
 	latMu     sync.Mutex
 	latencies map[string]*histogram // per-endpoint request duration
 
@@ -170,13 +178,14 @@ type metrics struct {
 
 func newMetrics(endpoints []string) *metrics {
 	m := &metrics{
-		skipByClass:      make(map[string]int64),
-		estimateAge:      newHistogram(ageBuckets...),
-		estimateRound:    newHistogram(roundBuckets...),
-		estimateLockHold: newHistogram(lockHoldBuckets...),
-		walAppendLat:     newHistogram(walBuckets...),
-		walFsyncLat:      newHistogram(walBuckets...),
-		latencies:        make(map[string]*histogram, len(endpoints)),
+		skipByClass:         make(map[string]int64),
+		estimateAge:         newHistogram(ageBuckets...),
+		estimateRound:       newHistogram(roundBuckets...),
+		estimateLockHold:    newHistogram(lockHoldBuckets...),
+		walAppendLat:        newHistogram(walBuckets...),
+		walFsyncLat:         newHistogram(walBuckets...),
+		watchPublishToWrite: newHistogram(latencyBuckets...),
+		latencies:           make(map[string]*histogram, len(endpoints)),
 	}
 	for _, c := range trace.Classes() {
 		m.skipByClass[c] = 0

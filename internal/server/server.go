@@ -20,6 +20,7 @@ import (
 	"taxilight/internal/core"
 	"taxilight/internal/ingest"
 	"taxilight/internal/mapmatch"
+	"taxilight/internal/pubsub"
 	"taxilight/internal/store"
 	"taxilight/internal/trace"
 )
@@ -86,6 +87,28 @@ type Config struct {
 	// the daemon. /healthz and /metrics are exempt — operators must see
 	// a daemon that is shedding. 0 disables the limiter.
 	MaxInFlight int
+	// MaxSubscribers caps concurrent /v1/watch subscriptions; excess
+	// subscription attempts are shed with the same jittered 429 +
+	// Retry-After as the in-flight limiter. Watch streams do not count
+	// against MaxInFlight — they are long-lived by design and have their
+	// own cap. 0 means unlimited.
+	MaxSubscribers int
+	// MaxWatchKeys caps keys on a single /v1/watch subscription.
+	MaxWatchKeys int
+	// WatchQueue is the per-subscriber frame queue depth — how many
+	// estimation rounds a slow watch client may lag before the hub
+	// evicts it at publish time.
+	WatchQueue int
+	// WatchWriteTimeout is the per-write deadline on a watch stream: a
+	// client that cannot drain one frame within it is evicted. It
+	// replaces WriteTimeout for /v1/watch (a fixed whole-request write
+	// timeout would kill every long-lived stream).
+	WatchWriteTimeout time.Duration
+	// WatchHeartbeat is the idle keep-alive cadence on watch streams; a
+	// comment frame flushed this often detects dead connections between
+	// estimation rounds and keeps intermediaries from timing the stream
+	// out.
+	WatchHeartbeat time.Duration
 	// DebugEndpoints additionally registers /debug/* handlers (panic and
 	// block drills). Off in production, on in chaos tests.
 	DebugEndpoints bool
@@ -113,6 +136,11 @@ func DefaultConfig() Config {
 		StoreFailureBudget: 8,
 		CheckpointInterval: time.Minute,
 		MaxInFlight:        256,
+		MaxSubscribers:     100_000,
+		MaxWatchKeys:       32,
+		WatchQueue:         32,
+		WatchWriteTimeout:  5 * time.Second,
+		WatchHeartbeat:     15 * time.Second,
 	}
 }
 
@@ -137,6 +165,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: negative store failure budget %d", c.StoreFailureBudget)
 	case c.MaxInFlight < 0:
 		return fmt.Errorf("server: negative in-flight limit %d", c.MaxInFlight)
+	case c.MaxSubscribers < 0:
+		return fmt.Errorf("server: negative subscriber limit %d", c.MaxSubscribers)
+	case c.MaxWatchKeys < 0:
+		return fmt.Errorf("server: negative watch key limit %d", c.MaxWatchKeys)
+	case c.WatchQueue < 0:
+		return fmt.Errorf("server: negative watch queue %d", c.WatchQueue)
+	case c.WatchWriteTimeout < 0 || c.WatchHeartbeat < 0:
+		return fmt.Errorf("server: negative watch timeout (write %v, heartbeat %v)", c.WatchWriteTimeout, c.WatchHeartbeat)
 	}
 	if err := c.Ingest.Validate(); err != nil {
 		return err
@@ -153,6 +189,9 @@ type Server struct {
 	shards  []*shard
 	met     *metrics
 	snap    snapshotCache
+	// hub fans each estimation round's published keys out to /v1/watch
+	// subscribers (the push read path).
+	hub *pubsub.Hub
 
 	shardWG  sync.WaitGroup
 	started  bool
@@ -215,6 +254,11 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 		matcher: matcher,
 		met:     newMetrics(endpointNames),
 	}
+	s.hub = pubsub.NewHub(pubsub.Config{
+		MaxSubscribers: cfg.MaxSubscribers,
+		MaxKeysPerSub:  cfg.MaxWatchKeys,
+		QueueLen:       cfg.WatchQueue,
+	})
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -228,6 +272,7 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 			s.met.estimateLockHold.Observe(st.LockHold.Seconds())
 			s.met.keysRecomputed.Add(int64(st.Recomputed))
 			s.met.keysCarried.Add(int64(st.Carried))
+			s.publishWatch(eng, st.At, st.Published)
 		})
 		s.shards = append(s.shards, &shard{
 			id:            i,
@@ -511,8 +556,17 @@ func (s *Server) PrimeResults(rs []core.Result) int {
 	}
 	n := 0
 	for idx, batch := range byShard {
-		s.shards[idx].engine.Prime(batch...)
+		sh := s.shards[idx]
+		sh.engine.Prime(batch...)
 		n += len(batch)
+		// Promoted estimates are published to watch subscribers like any
+		// estimation round's: a failover must not leave watchers on the
+		// new primary waiting for the next local round.
+		keys := make([]mapmatch.Key, len(batch))
+		for i, r := range batch {
+			keys[i] = r.Key
+		}
+		s.publishWatch(sh.engine, sh.engine.Now(), keys)
 	}
 	return n
 }
