@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"taxilight/internal/experiments"
+	"taxilight/internal/experiments/routeab"
 )
 
 type multiFlag []string
@@ -31,14 +32,20 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	runs := flag.Int("runs", 10, "randomised repetitions for Fig. 14")
 	days := flag.Int("days", 1, "monitored days for Fig. 12 (paper: 3)")
-	trips := flag.Int("trips", 40, "trips per distance class for Fig. 16")
+	trips := flag.Int("trips", 40, "trips per distance class for Fig. 16, or A/B trips for route-ab")
 	seed := flag.Int64("seed", 1, "base random seed")
-	flag.Var(&figs, "fig", "figure to regenerate (1, 2, 6, 7, 9, 10, 11, 12, 13, 14, 14c, 16, e2e, sweep); repeatable")
+	flag.Var(&figs, "fig", "figure to regenerate (1, 2, 6, 7, 9, 10, 11, 12, 13, 14, 14c, 16, e2e, route-ab, sweep); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (2); repeatable")
 	flag.Parse()
+	tripsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trips" {
+			tripsSet = true
+		}
+	})
 
 	if *all {
-		figs = []string{"1", "2", "6", "7", "9", "10", "11", "12", "12s", "13", "14", "14c", "16", "e2e", "sweep", "corridor", "scaling"}
+		figs = []string{"1", "2", "6", "7", "9", "10", "11", "12", "12s", "13", "14", "14c", "16", "e2e", "route-ab", "sweep", "corridor", "scaling"}
 		tables = []string{"2"}
 	}
 	if len(figs) == 0 && len(tables) == 0 {
@@ -113,6 +120,14 @@ func main() {
 			cfg := experiments.DefaultEndToEndConfig()
 			cfg.Seed = *seed
 			err = experiments.EndToEnd(w, cfg)
+		case "route-ab":
+			cfg := routeab.DefaultConfig()
+			cfg.Seed = *seed
+			cfg.World.Seed = *seed
+			if tripsSet {
+				cfg.Trips = *trips
+			}
+			err = routeab.Report(w, cfg)
 		default:
 			err = fmt.Errorf("unknown figure")
 		}

@@ -8,6 +8,7 @@
 //	GET /v1/state/{light}/{approach}   current phase + countdown ("red, 12 s to green")
 //	GET /v1/watch?keys=7:NS,...        SSE push: estimate deltas as rounds publish
 //	GET /v1/snapshot                   every approach, cached, ETag-revalidated
+//	GET /v1/route?src=&dst=&depart=    light-aware route over live predictions
 //	GET /healthz                       200 while any estimate is fresh, else 503
 //	GET /metrics                       Prometheus text format
 //
@@ -44,6 +45,7 @@ import (
 	"taxilight/internal/experiments"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/roadnet"
+	"taxilight/internal/routesvc"
 	"taxilight/internal/server"
 	"taxilight/internal/store"
 )
@@ -193,6 +195,19 @@ func main() {
 				n, st.Dir(), replayed, recovered.Now)
 		}
 	}
+
+	// Light-aware routing over the loaded network. In cluster mode the
+	// prediction source resolves lights owned by peers through bulk
+	// snapshot fetches; single-node it reads the local engines directly.
+	routePredictions := srv.RoutePredictions()
+	if node != nil {
+		routePredictions = node.RoutePredictions()
+	}
+	rs, err := routesvc.New(net, routePredictions)
+	if err != nil {
+		fatal(err)
+	}
+	srv.SetRouteService(rs)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

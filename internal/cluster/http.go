@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -311,8 +312,14 @@ func (n *Node) routeSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // fetchSnap pulls one peer's local snapshot contribution.
 func (n *Node) fetchSnap(r *http.Request, base string) (server.SnapshotDoc, error) {
+	return n.fetchSnapCtx(r.Context(), base)
+}
+
+// fetchSnapCtx is fetchSnap without an originating request — the route
+// prediction cache refreshes on its own cadence, not per request.
+func (n *Node) fetchSnapCtx(ctx context.Context, base string) (server.SnapshotDoc, error) {
 	var doc server.SnapshotDoc
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/v1/snapshot", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/snapshot", nil)
 	if err != nil {
 		return doc, err
 	}

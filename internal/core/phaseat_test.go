@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"taxilight/internal/lights"
+)
+
+// phaseResult is the schedule the edge-case tests evaluate: cycle 100 s,
+// red 40 s, anchored so red starts at stream time 130 (window start 100
+// plus green→red phase 30).
+func phaseResult() Result {
+	return Result{
+		Cycle: 100, Red: 40, Green: 60,
+		GreenToRedPhase: 30,
+		WindowStart:     100, WindowEnd: 1900,
+	}
+}
+
+func TestPhaseAtBoundaryInstants(t *testing.T) {
+	r := phaseResult()
+	cases := []struct {
+		name  string
+		t     float64
+		state lights.State
+		until float64
+	}{
+		// Red anchors at WindowStart+GreenToRedPhase = 130.
+		{"red onset", 130, lights.Red, 40},
+		{"last red instant", 169.999999, lights.Red, 0.000001},
+		{"red→green boundary", 170, lights.Green, 60},
+		{"mid green", 200, lights.Green, 30},
+		{"green→red wrap", 230, lights.Red, 40},
+		{"one cycle later", 330, lights.Red, 40},
+		{"many cycles later, past window end", 130 + 100*1e6, lights.Red, 40},
+	}
+	for _, tc := range cases {
+		state, until, ok := r.PhaseAt(tc.t)
+		if !ok {
+			t.Fatalf("%s: not ok", tc.name)
+		}
+		if state != tc.state || math.Abs(until-tc.until) > 1e-6 {
+			t.Fatalf("%s: got (%v, %v), want (%v, %v)", tc.name, state, until, tc.state, tc.until)
+		}
+	}
+}
+
+func TestPhaseAtBeforeAnchorWrapsNegative(t *testing.T) {
+	r := phaseResult()
+	// t < WindowStart+GreenToRedPhase makes the raw modulus negative;
+	// the phase must wrap into [0, Cycle), not mirror. 129 is one second
+	// before red onset, i.e. the last green second of the prior cycle.
+	state, until, ok := r.PhaseAt(129)
+	if !ok || state != lights.Green || math.Abs(until-1) > 1e-9 {
+		t.Fatalf("PhaseAt(129) = (%v, %v, %v), want (Green, 1, true)", state, until, ok)
+	}
+	// Far before the window: still a valid wrapped answer.
+	state, until, ok = r.PhaseAt(130 - 100*1e6)
+	if !ok || state != lights.Red || math.Abs(until-40) > 1e-6 {
+		t.Fatalf("PhaseAt(far past) = (%v, %v, %v), want (Red, 40, true)", state, until, ok)
+	}
+}
+
+func TestPhaseAtCountdownAgreesWithStateChange(t *testing.T) {
+	// The countdown must be exact: advancing by untilChange lands exactly
+	// on the opposite state, for either starting colour.
+	r := phaseResult()
+	for _, t0 := range []float64{130, 150, 169, 170, 200, 229, 95, 1e5 + 7} {
+		s0, until, ok := r.PhaseAt(t0)
+		if !ok {
+			t.Fatalf("PhaseAt(%v) not ok", t0)
+		}
+		s1, _, ok := r.PhaseAt(t0 + until + 1e-9)
+		if !ok || s1 == s0 {
+			t.Fatalf("t=%v: state %v did not flip after countdown %v", t0, s0, until)
+		}
+	}
+}
+
+func TestPhaseAtUnusableSchedules(t *testing.T) {
+	bad := []Result{
+		{Err: errors.New("identification failed"), Cycle: 100, Red: 40},
+		{Cycle: 0, Red: 40},
+		{Cycle: -100, Red: 40},
+	}
+	for i, r := range bad {
+		if _, _, ok := r.PhaseAt(123); ok {
+			t.Fatalf("case %d: unusable schedule answered ok", i)
+		}
+	}
+}
+
+// TestPhaseAtFIFO proves the property time-dependent routing leans on:
+// under a fixed-cycle light, departing later never lets you clear the
+// intersection earlier — t1 <= t2 implies t1+wait(t1) <= t2+wait(t2).
+// With FIFO waits, label-setting A* over light-aware edge weights is
+// exact; a counterexample here would invalidate the routing service.
+func TestPhaseAtFIFO(t *testing.T) {
+	r := phaseResult()
+	wait := func(at float64) float64 {
+		state, until, ok := r.PhaseAt(at)
+		if !ok {
+			t.Fatalf("PhaseAt(%v) not ok", at)
+		}
+		if state == lights.Red {
+			return until
+		}
+		return 0
+	}
+	// Dense sweep across several cycles, including the negative-wrap
+	// region and both boundaries.
+	for t1 := -250.0; t1 < 450; t1 += 0.5 {
+		for _, dt := range []float64{0, 1e-6, 0.25, 1, 7.5, 39.999999, 40, 60, 100} {
+			t2 := t1 + dt
+			if t1+wait(t1) > t2+wait(t2)+1e-9 {
+				t.Fatalf("FIFO violated: depart %v clears at %v, depart %v clears at %v",
+					t1, t1+wait(t1), t2, t2+wait(t2))
+			}
+		}
+	}
+}

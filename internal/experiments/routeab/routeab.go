@@ -1,0 +1,327 @@
+// Package routeab is the online routing A/B experiment: it boots a real
+// lightd serving stack over a simulated city, ingests the taxi trace,
+// and drives simulated trips through GET /v1/route — light-aware vs the
+// free-flow baseline — under concurrent query load, scoring realised
+// travel time against ground-truth schedules. It lives outside package
+// experiments because it imports internal/server, which experiments
+// must not (server's own tests build worlds through experiments).
+package routeab
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"taxilight/internal/experiments"
+	"taxilight/internal/lights"
+	"taxilight/internal/mapmatch"
+	"taxilight/internal/navigation"
+	"taxilight/internal/roadnet"
+	"taxilight/internal/routesvc"
+	"taxilight/internal/server"
+)
+
+// Config controls the online routing A/B: one simulated city is
+// ingested by a live lightd server, then simulated trips are driven
+// through its /v1/route endpoint — light-aware vs the free-flow
+// baseline — while concurrent load workers hammer the same endpoint.
+// The point is to prove the tentpole end to end: routes planned on the
+// daemon's own identified estimates beat blind shortest-time routing on
+// realised (ground-truth) travel time, at service latency, under load.
+type Config struct {
+	World experiments.WorldConfig
+	// Trips is the number of A/B od-pairs; each is driven once per arm
+	// with per-intersection replanning through the HTTP endpoint.
+	Trips int
+	// LoadWorkers × LoadQueries concurrent background route queries run
+	// while the trips drive, so the reported latency is under load.
+	LoadWorkers int
+	LoadQueries int
+	Seed        int64
+}
+
+// DefaultConfig uses the standard world (4x4, 300 taxis, one
+// hour) with 60 trips under 8×150 background queries.
+func DefaultConfig() Config {
+	return Config{
+		World:       experiments.DefaultWorldConfig(),
+		Trips:       60,
+		LoadWorkers: 8,
+		LoadQueries: 150,
+		Seed:        1,
+	}
+}
+
+// Result aggregates the A/B outcome.
+type Result struct {
+	Trips int
+	// AwareMean and BaselineMean are mean realised trip durations in
+	// seconds, evaluated against ground-truth schedules.
+	AwareMean    float64
+	BaselineMean float64
+	// SavingsPct is the realised saving of aware over baseline.
+	SavingsPct float64
+	// DegradedTrips counts aware trips that crossed at least one edge on
+	// free-flow fallback (no fresh estimate for that approach).
+	DegradedTrips int
+	// LoadQueries/LoadErrors count background queries and their non-200
+	// answers (any status, including shed 429s).
+	LoadQueries int
+	LoadErrors  int
+	// P50/P99 are route-query latencies in milliseconds measured on the
+	// background load while the trips were driving.
+	P50Millis, P99Millis   float64
+	CacheHits, CacheMisses int64
+	// FreshApproaches / TotalApproaches report live-estimate coverage at
+	// trip time: how much of the network the aware arm could use.
+	FreshApproaches, TotalApproaches int
+}
+
+// routeWireDoc is the part of the /v1/route body the driver consumes.
+type routeWireDoc struct {
+	Degraded bool `json:"degraded"`
+	Legs     []struct {
+		Segment int64 `json:"segment"`
+		To      int64 `json:"to"`
+	} `json:"legs"`
+}
+
+// Run builds the world, boots a real server over it, ingests the
+// taxi trace, and runs the A/B through HTTP.
+func Run(cfg Config) (Result, error) {
+	var out Result
+	world, err := experiments.BuildWorld(cfg.World)
+	if err != nil {
+		return out, err
+	}
+
+	// Boot the serving stack exactly as lightd wires it: engines fed the
+	// matched trace in stream order, then the routing service on top of
+	// the live prediction source.
+	scfg := server.DefaultConfig()
+	scfg.Shards = 4
+	srv, err := server.New(nil, scfg)
+	if err != nil {
+		return out, err
+	}
+	srv.Start()
+	var ms []mapmatch.Matched
+	for _, recs := range world.Part {
+		ms = append(ms, recs...)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].T < ms[j].T })
+	ctx := context.Background()
+	for i := 0; i < len(ms); i += 4096 {
+		srv.Dispatch(ctx, ms[i:min(i+4096, len(ms))])
+	}
+	// Drain and run the final estimation round; handlers keep serving
+	// the last estimates, as after a completed replay in lightd.
+	srv.StopIngest()
+
+	rs, err := routesvc.New(world.Net, srv.RoutePredictions())
+	if err != nil {
+		return out, err
+	}
+	srv.SetRouteService(rs)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	out.TotalApproaches = 2 * len(world.Net.SignalisedNodes())
+	out.FreshApproaches = countFresh(srv, world.Net)
+
+	// Background load: every worker fires LoadQueries random route
+	// queries, alternating modes, and records wall latencies.
+	lats := make([][]float64, cfg.LoadWorkers)
+	errs := make([]int, cfg.LoadWorkers)
+	var wg sync.WaitGroup
+	nn := world.Net.NumNodes()
+	for wi := 0; wi < cfg.LoadWorkers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 7919*int64(wi+1)))
+			for q := 0; q < cfg.LoadQueries; q++ {
+				src, dst := rng.Intn(nn), rng.Intn(nn)
+				mode := "aware"
+				if q%2 == 1 {
+					mode = "freeflow"
+				}
+				depart := world.Horizon + rng.Float64()*600
+				url := fmt.Sprintf("%s/v1/route?src=%d&dst=%d&depart=%g&mode=%s", ts.URL, src, dst, depart, mode)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					errs[wi]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// Self-trips and 404s for unreachable pairs are valid
+				// answers; only transport failures and 5xx/429 count.
+				if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+					errs[wi]++
+					continue
+				}
+				lats[wi] = append(lats[wi], time.Since(t0).Seconds())
+			}
+		}(wi)
+	}
+
+	// The A/B trips drive while the load runs.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for done := 0; done < cfg.Trips; {
+		src := roadnet.NodeID(rng.Intn(nn))
+		dst := roadnet.NodeID(rng.Intn(nn))
+		if src == dst {
+			continue
+		}
+		depart := world.Horizon + rng.Float64()*600
+		aware, degraded, err := driveVia(client, ts.URL, world.Net, src, dst, depart, "aware")
+		if err != nil {
+			wg.Wait()
+			return out, err
+		}
+		base, _, err := driveVia(client, ts.URL, world.Net, src, dst, depart, "freeflow")
+		if err != nil {
+			wg.Wait()
+			return out, err
+		}
+		out.AwareMean += aware
+		out.BaselineMean += base
+		if degraded {
+			out.DegradedTrips++
+		}
+		done++
+		out.Trips = done
+	}
+	wg.Wait()
+
+	if out.Trips > 0 {
+		out.AwareMean /= float64(out.Trips)
+		out.BaselineMean /= float64(out.Trips)
+	}
+	if out.BaselineMean > 0 {
+		out.SavingsPct = 100 * (out.BaselineMean - out.AwareMean) / out.BaselineMean
+	}
+	var all []float64
+	for wi, l := range lats {
+		all = append(all, l...)
+		out.LoadErrors += errs[wi]
+	}
+	out.LoadQueries = len(all) + out.LoadErrors
+	sort.Float64s(all)
+	if len(all) > 0 {
+		out.P50Millis = 1000 * all[len(all)/2]
+		out.P99Millis = 1000 * all[min(len(all)*99/100, len(all)-1)]
+	}
+	st := rs.Stats()
+	out.CacheHits, out.CacheMisses = st.CacheHits, st.CacheMisses
+	return out, nil
+}
+
+// driveVia drives one trip by replanning through /v1/route at every
+// intersection: query, take the first leg, drive it at free-flow, then
+// suffer the ground-truth red wait before replanning from the next
+// node. The realised duration scores the service's advice against the
+// simulator's actual lights — including every wrong prediction.
+func driveVia(client *http.Client, base string, net *roadnet.Network, src, dst roadnet.NodeID, depart float64, mode string) (realised float64, degraded bool, err error) {
+	t := depart
+	at := src
+	maxHops := 4 * net.NumNodes()
+	for hops := 0; at != dst; hops++ {
+		if hops > maxHops {
+			return 0, false, fmt.Errorf("route-ab: trip %d→%d did not converge after %d hops", src, dst, hops)
+		}
+		doc, err := fetchRoute(client, base, at, dst, t, mode)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(doc.Legs) == 0 {
+			return 0, false, fmt.Errorf("route-ab: empty route %d→%d", at, dst)
+		}
+		if doc.Degraded {
+			degraded = true
+		}
+		leg := doc.Legs[0]
+		seg := net.Segment(roadnet.SegmentID(leg.Segment))
+		t += seg.TravelTime()
+		if roadnet.NodeID(leg.To) != dst {
+			t += navigation.WaitAt(net, seg, t)
+		}
+		at = roadnet.NodeID(leg.To)
+	}
+	return t - depart, degraded, nil
+}
+
+// fetchRoute queries /v1/route once, retrying briefly on load shedding.
+func fetchRoute(client *http.Client, base string, src, dst roadnet.NodeID, depart float64, mode string) (routeWireDoc, error) {
+	var doc routeWireDoc
+	url := fmt.Sprintf("%s/v1/route?src=%d&dst=%d&depart=%g&mode=%s", base, src, dst, depart, mode)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			return doc, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return doc, fmt.Errorf("route-ab: %s: %s: %s", url, resp.Status, body)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		return doc, err
+	}
+}
+
+// countFresh counts approaches the live engines answer with a usable
+// fresh estimate.
+func countFresh(srv *server.Server, net *roadnet.Network) int {
+	fresh := 0
+	for _, nd := range net.SignalisedNodes() {
+		for _, app := range []lights.Approach{lights.NorthSouth, lights.EastWest} {
+			k := mapmatch.Key{Light: nd.ID, Approach: app}
+			if est, ok := srv.EstimateFor(k); ok && est.Err == nil && est.Cycle > 0 && est.Health.String() == "fresh" {
+				fresh++
+			}
+		}
+	}
+	return fresh
+}
+
+// Report runs the A/B and prints the outcome.
+func Report(w io.Writer, cfg Config) error {
+	res, err := Run(cfg)
+	if err != nil {
+		return err
+	}
+	sectionHeader(w, "Route A/B: /v1/route on live estimates vs blind baseline, under load")
+	fmt.Fprintf(w, "world: %dx%d grid, %d taxis, %.0f s horizon; coverage %d/%d approaches fresh\n",
+		cfg.World.Rows, cfg.World.Cols, cfg.World.Taxis, cfg.World.Horizon,
+		res.FreshApproaches, res.TotalApproaches)
+	fmt.Fprintf(w, "trips: %d per arm (replanned per intersection, %d degraded)\n", res.Trips, res.DegradedTrips)
+	fmt.Fprintf(w, "realised travel time: aware %.1f s, baseline %.1f s  → saving %.1f%%\n",
+		res.AwareMean, res.BaselineMean, res.SavingsPct)
+	fmt.Fprintf(w, "load: %d queries on %d workers, %d errors; latency p50 %.2f ms, p99 %.2f ms\n",
+		res.LoadQueries, cfg.LoadWorkers, res.LoadErrors, res.P50Millis, res.P99Millis)
+	fmt.Fprintf(w, "prediction cache: %d hits, %d misses\n", res.CacheHits, res.CacheMisses)
+	return nil
+}
+
+// sectionHeader matches the figure/table headers of cmd/experiments.
+func sectionHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,94 @@
+package lights
+
+import (
+	"math"
+	"testing"
+)
+
+// waitSchedule is the edge-case schedule: cycle 100 s, red 40 s, with
+// some cycle's red phase starting at t=25.
+func waitSchedule() Schedule {
+	return Schedule{Cycle: 100, Red: 40, Offset: 25}
+}
+
+func TestWaitAtBoundaryInstants(t *testing.T) {
+	s := waitSchedule()
+	cases := []struct {
+		name string
+		t    float64
+		want float64
+	}{
+		{"red onset", 25, 40},
+		{"mid red", 45, 20},
+		{"last red instant", 64.999999, 0.000001},
+		{"red→green boundary is zero wait", 65, 0},
+		{"mid green", 100, 0},
+		{"green→red wrap", 125, 40},
+		{"next cycle red onset", 225, 40},
+	}
+	for _, tc := range cases {
+		if got := s.WaitAt(tc.t); math.Abs(got-tc.want) > 1e-6 {
+			t.Fatalf("%s: WaitAt(%v) = %v, want %v", tc.name, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestWaitAtNegativeTimeWraps(t *testing.T) {
+	s := waitSchedule()
+	// Times before the offset (including negative epoch times) must wrap
+	// into the cycle, never produce negative phases or waits. t=-75 is
+	// exactly one cycle before t=25: red onset, full red wait.
+	if got := s.WaitAt(-75); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("WaitAt(-75) = %v, want 40", got)
+	}
+	// t=24.5 is the tail of the previous green.
+	if got := s.WaitAt(24.5); got != 0 {
+		t.Fatalf("WaitAt(24.5) = %v, want 0", got)
+	}
+	for at := -500.0; at < 500; at += 0.25 {
+		w := s.WaitAt(at)
+		if w < 0 || w > s.Red {
+			t.Fatalf("WaitAt(%v) = %v outside [0, red=%v]", at, w, s.Red)
+		}
+		if st := s.StateAt(at); (st == Red) != (w > 0) {
+			t.Fatalf("WaitAt(%v) = %v disagrees with StateAt %v", at, w, st)
+		}
+	}
+}
+
+// TestWaitAtFIFO: arriving later never clears the stop line earlier.
+// NextGreen (hence WaitAt) must be monotone in arrival time — the
+// property that makes earliest-arrival routing over fixed-cycle lights
+// exact.
+func TestWaitAtFIFO(t *testing.T) {
+	s := waitSchedule()
+	for t1 := -250.0; t1 < 450; t1 += 0.5 {
+		for _, dt := range []float64{0, 1e-6, 0.5, 5, 39.999999, 40, 65, 99.5, 230} {
+			t2 := t1 + dt
+			if s.NextGreen(t1) > s.NextGreen(t2)+1e-9 {
+				t.Fatalf("FIFO violated: NextGreen(%v)=%v > NextGreen(%v)=%v",
+					t1, s.NextGreen(t1), t2, s.NextGreen(t2))
+			}
+		}
+	}
+}
+
+// TestOpposedWaitNegativeTimes extends the anti-phase checks in
+// lights_test.go to negative epoch times and to the opposed approach's
+// wait bound — the wrap-around region routing evaluates when a trip
+// departs before an estimate's window anchor.
+func TestOpposedWaitNegativeTimes(t *testing.T) {
+	s := waitSchedule()
+	o := s.Opposed()
+	// Anti-phase must hold through the negative wrap too.
+	for at := -200.0; at < 400; at += 0.25 {
+		ours, theirs := s.StateAt(at), o.StateAt(at)
+		if (ours == Green) == (theirs == Green) {
+			t.Fatalf("t=%v: both approaches show %v/%v", at, ours, theirs)
+		}
+		// And whoever is red waits no longer than their red duration.
+		if w := o.WaitAt(at); w < 0 || w > o.Red {
+			t.Fatalf("opposed WaitAt(%v) = %v outside [0, %v]", at, w, o.Red)
+		}
+	}
+}

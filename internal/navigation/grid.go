@@ -152,7 +152,7 @@ func CompareNavigation(net *roadnet.Network, segMeters float64, cfg CompareConfi
 	byHops := map[int][]od{}
 	nn := net.NumNodes()
 	for a := 0; a < nn; a++ {
-		d, err := hopDistances(net, roadnet.NodeID(a))
+		d, err := hopDistancesFrom(net, roadnet.NodeID(a))
 		if err != nil {
 			return nil, err
 		}
@@ -226,3 +226,47 @@ func (h *nodeQueue) Pop() interface{} {
 }
 
 var _ heap.Interface = (*nodeQueue)(nil)
+
+// pushItem and popMin are allocation-free equivalents of heap.Push /
+// heap.Pop: the container/heap interface boxes every nodeItem through
+// interface{}, which costs one heap allocation per queue operation on
+// the planner hot path.
+func (h *nodeQueue) pushItem(it nodeItem) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].t <= q[i].t {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *nodeQueue) popMin() nodeItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q[l].t < q[min].t {
+			min = l
+		}
+		if r < n && q[r].t < q[min].t {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}

@@ -23,9 +23,9 @@
 package navigation
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"taxilight/internal/roadnet"
 )
@@ -90,6 +90,40 @@ type LightAwarePlanner struct {
 	Net *roadnet.Network
 }
 
+// planScratch is the per-Plan working set of the time-dependent Dijkstra:
+// label arrays plus the frontier heap. Pooled so repeated Plans (Drive
+// replans at every intersection) allocate nothing on the hot path.
+type planScratch struct {
+	arrive []float64
+	prev   []roadnet.SegmentID
+	done   []bool
+	pq     nodeQueue
+}
+
+var planPool = sync.Pool{New: func() interface{} { return new(planScratch) }}
+
+// acquireScratch returns a reset scratch sized for nn nodes.
+func acquireScratch(nn int) *planScratch {
+	sc := planPool.Get().(*planScratch)
+	if cap(sc.arrive) < nn {
+		sc.arrive = make([]float64, nn)
+		sc.prev = make([]roadnet.SegmentID, nn)
+		sc.done = make([]bool, nn)
+	}
+	sc.arrive = sc.arrive[:nn]
+	sc.prev = sc.prev[:nn]
+	sc.done = sc.done[:nn]
+	for i := range sc.arrive {
+		sc.arrive[i] = math.Inf(1)
+		sc.prev[i] = -1
+		sc.done[i] = false
+	}
+	sc.pq = sc.pq[:0]
+	return sc
+}
+
+func (sc *planScratch) release() { planPool.Put(sc) }
+
 // Plan implements Planner.
 func (p *LightAwarePlanner) Plan(src, dst roadnet.NodeID, depart float64) (roadnet.Route, error) {
 	net := p.Net
@@ -97,17 +131,14 @@ func (p *LightAwarePlanner) Plan(src, dst roadnet.NodeID, depart float64) (roadn
 	if int(src) >= nn || int(dst) >= nn || src < 0 || dst < 0 {
 		return roadnet.Route{}, fmt.Errorf("navigation: node out of range: %d -> %d", src, dst)
 	}
-	arrive := make([]float64, nn)
-	prev := make([]roadnet.SegmentID, nn)
-	done := make([]bool, nn)
-	for i := range arrive {
-		arrive[i] = math.Inf(1)
-		prev[i] = -1
-	}
+	sc := acquireScratch(nn)
+	defer sc.release()
+	arrive, prev, done := sc.arrive, sc.prev, sc.done
 	arrive[src] = depart
-	pq := &nodeQueue{{id: src, t: depart}}
+	pq := &sc.pq
+	pq.pushItem(nodeItem{id: src, t: depart})
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(nodeItem)
+		it := pq.popMin()
 		if done[it.id] {
 			continue
 		}
@@ -125,7 +156,7 @@ func (p *LightAwarePlanner) Plan(src, dst roadnet.NodeID, depart float64) (roadn
 			if t < arrive[seg.To] {
 				arrive[seg.To] = t
 				prev[seg.To] = sid
-				heap.Push(pq, nodeItem{id: seg.To, t: t})
+				pq.pushItem(nodeItem{id: seg.To, t: t})
 			}
 		}
 	}
@@ -162,7 +193,9 @@ type EnumeratingPlanner struct {
 // DefaultMaxPaths bounds the enumeration effort.
 const DefaultMaxPaths = 200000
 
-// Plan implements Planner.
+// Plan implements Planner. When the enumeration hits MaxPaths the best
+// route found so far is returned with Route.Truncated set; an error is
+// reported only when no trajectory was found at all.
 func (p *EnumeratingPlanner) Plan(src, dst roadnet.NodeID, depart float64) (roadnet.Route, error) {
 	net := p.Net
 	minHops, err := hopDistance(net, src, dst)
@@ -175,7 +208,7 @@ func (p *EnumeratingPlanner) Plan(src, dst roadnet.NodeID, depart float64) (road
 		maxPaths = DefaultMaxPaths
 	}
 	// Hop distances to dst prune branches that cannot finish in budget.
-	toDst, err := hopDistances(net, dst)
+	toDst, err := hopDistancesTo(net, dst)
 	if err != nil {
 		return roadnet.Route{}, err
 	}
@@ -183,23 +216,30 @@ func (p *EnumeratingPlanner) Plan(src, dst roadnet.NodeID, depart float64) (road
 	visited := make([]bool, net.NumNodes())
 	var path []roadnet.SegmentID
 	paths := 0
-	var explore func(at roadnet.NodeID, t float64, hops int) error
-	explore = func(at roadnet.NodeID, t float64, hops int) error {
-		if paths > maxPaths {
-			return fmt.Errorf("navigation: enumeration exceeded %d paths", maxPaths)
+	truncated := false
+	var explore func(at roadnet.NodeID, t float64, hops int)
+	explore = func(at roadnet.NodeID, t float64, hops int) {
+		if truncated {
+			return
 		}
 		if at == dst {
+			if paths >= maxPaths {
+				// The cap is exact: exactly maxPaths trajectories are
+				// evaluated; the incumbent survives.
+				truncated = true
+				return
+			}
 			paths++
 			if cost := t - depart; cost < best.Cost {
 				best = roadnet.Route{Segments: append([]roadnet.SegmentID(nil), path...), Cost: cost}
 			}
-			return nil
+			return
 		}
 		if hops >= budget || toDst[at] < 0 || hops+toDst[at] > budget {
-			return nil
+			return
 		}
 		if t-depart >= best.Cost {
-			return nil // already slower than the incumbent
+			return // already slower than the incumbent
 		}
 		visited[at] = true
 		defer func() { visited[at] = false }()
@@ -213,26 +253,27 @@ func (p *EnumeratingPlanner) Plan(src, dst roadnet.NodeID, depart float64) (road
 				nt += WaitAt(net, seg, nt)
 			}
 			path = append(path, sid)
-			err := explore(seg.To, nt, hops+1)
+			explore(seg.To, nt, hops+1)
 			path = path[:len(path)-1]
-			if err != nil {
-				return err
+			if truncated {
+				return
 			}
 		}
-		return nil
 	}
-	if err := explore(src, depart, 0); err != nil {
-		return roadnet.Route{}, err
-	}
+	explore(src, depart, 0)
 	if math.IsInf(best.Cost, 1) {
+		if truncated {
+			return roadnet.Route{}, fmt.Errorf("navigation: enumeration exceeded %d paths before finding a route", maxPaths)
+		}
 		return roadnet.Route{}, fmt.Errorf("navigation: no trajectory within %d hops", budget)
 	}
+	best.Truncated = truncated
 	return best, nil
 }
 
-// hopDistance returns the minimum hop count from src to dst.
+// hopDistance returns the minimum directed hop count from src to dst.
 func hopDistance(net *roadnet.Network, src, dst roadnet.NodeID) (int, error) {
-	d, err := hopDistances(net, src)
+	d, err := hopDistancesFrom(net, src)
 	if err != nil {
 		return 0, err
 	}
@@ -242,34 +283,49 @@ func hopDistance(net *roadnet.Network, src, dst roadnet.NodeID) (int, error) {
 	return d[dst], nil
 }
 
-// hopDistances runs BFS over segment adjacency treating edges as
-// undirected hops from the given node (grid roads are two-way, so the
-// hop metric is symmetric).
-func hopDistances(net *roadnet.Network, from roadnet.NodeID) ([]int, error) {
-	if int(from) >= net.NumNodes() || from < 0 {
-		return nil, fmt.Errorf("navigation: node %d out of range", from)
+// hopDistancesFrom runs BFS over outgoing segments, returning the
+// directed hop count from the given node to every node (-1 when
+// unreachable). Directionality matters on networks with one-way roads
+// (e.g. OSM imports): A->B reachable does not imply B->A.
+func hopDistancesFrom(net *roadnet.Network, from roadnet.NodeID) ([]int, error) {
+	return hopBFS(net, from, false)
+}
+
+// hopDistancesTo runs BFS over incoming segments, returning the directed
+// hop count from every node to the given node (-1 when unreachable).
+func hopDistancesTo(net *roadnet.Network, to roadnet.NodeID) ([]int, error) {
+	return hopBFS(net, to, true)
+}
+
+func hopBFS(net *roadnet.Network, origin roadnet.NodeID, reverse bool) ([]int, error) {
+	if int(origin) >= net.NumNodes() || origin < 0 {
+		return nil, fmt.Errorf("navigation: node %d out of range", origin)
 	}
 	dist := make([]int, net.NumNodes())
 	for i := range dist {
 		dist[i] = -1
 	}
-	dist[from] = 0
-	queue := []roadnet.NodeID{from}
+	dist[origin] = 0
+	queue := []roadnet.NodeID{origin}
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, sid := range net.Node(at).Out {
-			to := net.Segment(sid).To
-			if dist[to] < 0 {
-				dist[to] = dist[at] + 1
-				queue = append(queue, to)
-			}
+		var edges []roadnet.SegmentID
+		if reverse {
+			edges = net.Node(at).In
+		} else {
+			edges = net.Node(at).Out
 		}
-		for _, sid := range net.Node(at).In {
-			fromN := net.Segment(sid).From
-			if dist[fromN] < 0 {
-				dist[fromN] = dist[at] + 1
-				queue = append(queue, fromN)
+		for _, sid := range edges {
+			var next roadnet.NodeID
+			if reverse {
+				next = net.Segment(sid).From
+			} else {
+				next = net.Segment(sid).To
+			}
+			if dist[next] < 0 {
+				dist[next] = dist[at] + 1
+				queue = append(queue, next)
 			}
 		}
 	}

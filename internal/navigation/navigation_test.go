@@ -138,8 +138,119 @@ func TestEnumeratingMatchesDijkstraOnSmallGrid(t *testing.T) {
 func TestEnumeratingPlannerCaps(t *testing.T) {
 	net := fig15(t, 6, 6)
 	enum := &EnumeratingPlanner{Net: net, MaxExtraHops: 10, MaxPaths: 50}
-	if _, err := enum.Plan(0, 35, 0); err == nil {
-		t.Fatal("path explosion not detected")
+	r, err := enum.Plan(0, 35, 0)
+	if err != nil {
+		t.Fatalf("capped enumeration must return incumbent: %v", err)
+	}
+	if !r.Truncated {
+		t.Fatal("path explosion not flagged as Truncated")
+	}
+	if len(r.Segments) < 10 {
+		t.Fatalf("truncated best route too short: %d segments", len(r.Segments))
+	}
+	if got := RouteTime(net, r, 0); math.Abs(got-r.Cost) > 1e-6 {
+		t.Fatalf("truncated route cost %v, evaluation %v", r.Cost, got)
+	}
+	// An uncapped run on the same problem must not be flagged and can only
+	// be as good or better.
+	full := &EnumeratingPlanner{Net: net, MaxExtraHops: 2}
+	rf, err := full.Plan(0, 35, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Truncated {
+		t.Fatal("uncapped enumeration flagged Truncated")
+	}
+}
+
+func TestEnumeratingPlannerCapExact(t *testing.T) {
+	// With MaxPaths = 1 exactly one trajectory is evaluated and returned
+	// (marked Truncated when more existed), never an error.
+	net := fig15(t, 3, 3)
+	enum := &EnumeratingPlanner{Net: net, MaxExtraHops: 4, MaxPaths: 1}
+	r, err := enum.Plan(0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Fatal("cap of 1 on a multi-path grid must truncate")
+	}
+	if len(r.Segments) == 0 {
+		t.Fatal("no incumbent returned")
+	}
+}
+
+func TestHopDistancesDirected(t *testing.T) {
+	// a -> b -> c one-way chain: hops are finite forwards, unreachable
+	// backwards. The undirected metric would claim symmetry.
+	net := roadnet.NewNetwork(geoOrigin())
+	a := net.AddNode(xy(0, 0), nil)
+	b := net.AddNode(xy(1000, 0), nil)
+	c := net.AddNode(xy(2000, 0), nil)
+	if _, err := net.AddSegment(a, b, "ab", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddSegment(b, c, "bc", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	from, err := hopDistancesFrom(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from[b] != 1 || from[c] != 2 {
+		t.Fatalf("forward hops = %v", from)
+	}
+	back, err := hopDistancesFrom(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[a] != -1 || back[b] != -1 {
+		t.Fatalf("one-way chain reachable backwards: %v", back)
+	}
+	to, err := hopDistancesTo(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to[a] != 2 || to[b] != 1 {
+		t.Fatalf("hops to c = %v", to)
+	}
+	if _, err := hopDistance(net, c, a); err == nil {
+		t.Fatal("unreachable directed pair accepted")
+	}
+	// The enumerating planner must respect the direction too.
+	enum := &EnumeratingPlanner{Net: net, MaxExtraHops: 2}
+	r, err := enum.Plan(a, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Segments) != 2 {
+		t.Fatalf("one-way route = %v", r.Segments)
+	}
+	if _, err := enum.Plan(c, a, 0); err == nil {
+		t.Fatal("enumeration routed against one-way segments")
+	}
+}
+
+func TestLightAwarePlanZeroAllocSteadyState(t *testing.T) {
+	// The pooled scratch keeps steady-state allocations to the route
+	// reconstruction only (two small slices per Plan).
+	net := fig15(t, 8, 8)
+	p := &LightAwarePlanner{Net: net}
+	if _, err := p.Plan(0, 63, 0); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := p.Plan(0, 63, 1234); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Route reconstruction allocates the result slice (append growth);
+	// the Dijkstra working set must come from the pool.
+	if avg > 8 {
+		t.Fatalf("allocs/op = %v, scratch not pooled", avg)
 	}
 }
 

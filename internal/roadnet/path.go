@@ -11,6 +11,10 @@ import (
 type Route struct {
 	Segments []SegmentID
 	Cost     float64
+	// Truncated marks a best-effort answer: the search hit a resource cap
+	// (e.g. an enumeration path budget) before exhausting its space, so a
+	// cheaper route may exist.
+	Truncated bool
 }
 
 // Nodes returns the node sequence visited by the route, starting with the

@@ -1,0 +1,111 @@
+package routesvc
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// serviceMetrics is the routing subsystem's own instrumentation; the
+// server renders it into /metrics under the lightd_route_* namespace.
+// (The server's metric primitives are unexported, so the service carries
+// its own minimal counter/histogram.)
+type serviceMetrics struct {
+	plans       atomicCounter
+	degraded    atomicCounter
+	cacheHits   atomicCounter
+	cacheMisses atomicCounter
+	// expandedNodes distributes settled A* nodes per plan — the search
+	// effort the heuristic saves.
+	expandedNodes atomicHistogram
+}
+
+func (m *serviceMetrics) init() {
+	m.expandedNodes.bounds = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+	m.expandedNodes.buckets = make([]atomic.Int64, len(m.expandedNodes.bounds))
+}
+
+type atomicCounter struct{ v atomic.Int64 }
+
+func (c *atomicCounter) Add(n int64) { c.v.Add(n) }
+func (c *atomicCounter) Load() int64 { return c.v.Load() }
+
+// atomicHistogram is a fixed-bucket histogram safe for concurrent
+// observation.
+type atomicHistogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func (h *atomicHistogram) Observe(v float64) {
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *atomicHistogram) write(w io.Writer, name string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// Stats is a point-in-time snapshot of the service counters, for tests
+// and the A/B report.
+type Stats struct {
+	Plans       int64
+	Degraded    int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Plans:       s.met.plans.Load(),
+		Degraded:    s.met.degraded.Load(),
+		CacheHits:   s.met.cacheHits.Load(),
+		CacheMisses: s.met.cacheMisses.Load(),
+	}
+}
+
+// WriteMetrics renders the lightd_route_* exposition lines. The request
+// and latency histograms per endpoint live in the server's instrument
+// middleware; here are the subsystem-internal series.
+func (s *Service) WriteMetrics(w io.Writer) {
+	m := &s.met
+	fmt.Fprintln(w, "# TYPE lightd_route_plans_total counter")
+	fmt.Fprintf(w, "lightd_route_plans_total %d\n", m.plans.Load())
+	fmt.Fprintln(w, "# TYPE lightd_route_degraded_total counter")
+	fmt.Fprintf(w, "lightd_route_degraded_total %d\n", m.degraded.Load())
+	fmt.Fprintln(w, "# TYPE lightd_route_cache_total counter")
+	fmt.Fprintf(w, "lightd_route_cache_total{outcome=\"hit\"} %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "lightd_route_cache_total{outcome=\"miss\"} %d\n", m.cacheMisses.Load())
+	fmt.Fprintln(w, "# TYPE lightd_route_expanded_nodes histogram")
+	m.expandedNodes.write(w, "lightd_route_expanded_nodes")
+}

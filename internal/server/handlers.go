@@ -21,7 +21,7 @@ import (
 )
 
 // endpointNames pre-registers the latency series for every endpoint.
-var endpointNames = []string{"/v1/state", "/v1/snapshot", "/v1/history", "/healthz", "/metrics"}
+var endpointNames = []string{"/v1/state", "/v1/snapshot", "/v1/history", "/v1/route", "/healthz", "/metrics"}
 
 // Handler returns the HTTP API: per-approach state with countdown (live
 // or as-of a past stream time), the cached city snapshot, persisted
@@ -39,6 +39,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/state/{light}/{approach}", s.instrument("/v1/state", s.guard(false, s.handleState)))
 	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.guard(false, s.handleSnapshot)))
 	mux.HandleFunc("GET /v1/history/{light}/{approach}", s.instrument("/v1/history", s.guard(false, s.handleHistory)))
+	// /v1/route answers even when no routing service is installed (503
+	// with a hint) so the endpoint's behaviour does not depend on wiring
+	// order; the service itself is resolved per request.
+	mux.HandleFunc("GET /v1/route", s.instrument("/v1/route", s.guard(false, s.handleRoute)))
 	// /v1/watch is exempt from the in-flight limiter (streams are
 	// long-lived; the hub's subscriber cap is the real guard) and not
 	// instrumented (a stream's duration is its lifetime, not a latency).
@@ -744,6 +748,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeSample(w, "lightd_http_inflight", "", float64(inflight))
 
+	if rs := s.route.Load(); rs != nil {
+		rs.WriteMetrics(w)
+	}
 	if sup := s.supervisor(); sup != nil {
 		writeSourceMetrics(w, sup.Snapshot())
 	}

@@ -21,6 +21,7 @@ import (
 	"taxilight/internal/ingest"
 	"taxilight/internal/mapmatch"
 	"taxilight/internal/pubsub"
+	"taxilight/internal/routesvc"
 	"taxilight/internal/store"
 	"taxilight/internal/trace"
 )
@@ -216,6 +217,15 @@ type Server struct {
 
 	// hooks are the cluster layer's callbacks; zero for a single node.
 	hooks ClusterHooks
+
+	// route is the optional routing service behind /v1/route, installed
+	// with SetRouteService (an atomic pointer because the cluster layer
+	// captures Handler() before lightd can wire routing). routeEpoch is
+	// the prediction-cache fence: it moves whenever any engine's content
+	// may have changed, so cached per-edge wait lookups from earlier
+	// rounds are discarded without touching engine locks to find out.
+	route      atomic.Pointer[routesvc.Service]
+	routeEpoch atomic.Uint64
 }
 
 // ClusterHooks are the callbacks a cluster node installs into a server
@@ -272,6 +282,7 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 			s.met.estimateLockHold.Observe(st.LockHold.Seconds())
 			s.met.keysRecomputed.Add(int64(st.Recomputed))
 			s.met.keysCarried.Add(int64(st.Carried))
+			s.routeEpoch.Add(1)
 			s.publishWatch(eng, st.At, st.Published)
 		})
 		s.shards = append(s.shards, &shard{
@@ -413,6 +424,7 @@ func (s *Server) Restore(st core.EngineState) int {
 		}
 		sh.lastVersion = sh.engine.Version()
 	}
+	s.routeEpoch.Add(1)
 	s.met.restoredCount.Add(int64(total))
 	return total
 }
@@ -568,6 +580,11 @@ func (s *Server) PrimeResults(rs []core.Result) int {
 		}
 		s.publishWatch(sh.engine, sh.engine.Now(), keys)
 	}
+	if n > 0 {
+		// Fence the route prediction cache after the engines changed: a
+		// plan that cached pre-Prime answers now holds an older epoch.
+		s.routeEpoch.Add(1)
+	}
 	return n
 }
 
@@ -587,6 +604,35 @@ func (s *Server) SourceStatuses() []ingest.SourceStatus {
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.ServeHandler(ctx, addr, s.Handler())
 }
+
+// SetRouteService installs the routing service behind /v1/route. Safe
+// to call after Handler() — the handler resolves the service per
+// request — which matters in cluster mode, where the cluster node
+// captures the handler at construction, before routing can be wired.
+func (s *Server) SetRouteService(rs *routesvc.Service) { s.route.Store(rs) }
+
+// RouteService returns the installed routing service, or nil.
+func (s *Server) RouteService() *routesvc.Service { return s.route.Load() }
+
+// RoutePredictions adapts the server's shard engines into the routing
+// service's prediction source: per-key estimate lookup with the cluster
+// health override applied, fenced by the round-observer epoch.
+func (s *Server) RoutePredictions() routesvc.PredictionSource {
+	return &enginePredictions{s: s}
+}
+
+type enginePredictions struct{ s *Server }
+
+func (p *enginePredictions) Predict(k mapmatch.Key) (core.Estimate, string, bool) {
+	est, ok := p.s.EstimateFor(k)
+	if !ok {
+		return core.Estimate{}, "", false
+	}
+	return est, p.s.overrideHealth(k, est.Health.String()), true
+}
+
+func (p *enginePredictions) Epoch() uint64 { return p.s.routeEpoch.Load() }
+func (p *enginePredictions) Now() float64  { return p.s.StreamNow() }
 
 // ServeHandler is ListenAndServe with a caller-supplied root handler —
 // the cluster layer wraps the server's handler with ring routing.
