@@ -83,6 +83,8 @@ func main() {
 	clusterPeers := flag.String("cluster-peers", "", `seed members as "id=http://host:port,..." including this node; requires -node-id and -store-dir`)
 	replication := flag.Int("replication", 2, "cluster replication factor (primary included)")
 	heartbeat := flag.Duration("heartbeat-interval", 500*time.Millisecond, "cluster gossip cadence; a peer silent for 4x this is declared dead")
+	join := flag.Bool("join", false, "start as a joining cluster member: bulk-pull the key slice this node will own, then cut over to serving")
+	rebalanceRate := flag.Int64("rebalance-rate", 0, "bytes/second budget for bulk rebalance transfers served by this node (join handoff, replica re-priming); 0 = unthrottled")
 	flag.Parse()
 
 	// Fail fast on nonsense flags: a mistyped shard count or bad-line
@@ -178,10 +180,12 @@ func main() {
 			fatal(err)
 		}
 		node, err = cluster.NewNode(srv, st, cluster.Config{
-			NodeID:            *nodeID,
-			Peers:             peers,
-			ReplicationFactor: *replication,
-			HeartbeatInterval: *heartbeat,
+			NodeID:               *nodeID,
+			Peers:                peers,
+			ReplicationFactor:    *replication,
+			HeartbeatInterval:    *heartbeat,
+			Join:                 *join,
+			RebalanceBytesPerSec: *rebalanceRate,
 		})
 		if err != nil {
 			fatal(err)

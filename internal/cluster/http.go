@@ -71,7 +71,7 @@ func (n *Node) routeState(w http.ResponseWriter, r *http.Request) {
 		n.serveLocalState(w, r, key)
 		return
 	}
-	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Alive) {
+	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Serving) {
 		if o == n.cfg.NodeID {
 			n.serveLocalState(w, r, key)
 			return
@@ -174,9 +174,9 @@ func (n *Node) routeWatch(w http.ResponseWriter, r *http.Request) {
 	ring := n.ringNow()
 	owner := ""
 	for _, k := range keys {
-		o := ring.Primary(k, n.mem.Alive)
+		o := ring.Primary(k, n.mem.Serving)
 		if o == "" {
-			continue // no alive owner: serve what we have locally
+			continue // no serving owner: serve what we have locally
 		}
 		if owner == "" {
 			owner = o
@@ -220,7 +220,7 @@ func (n *Node) routeHistory(w http.ResponseWriter, r *http.Request) {
 		n.inner.ServeHTTP(w, r)
 		return
 	}
-	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Alive) {
+	for _, o := range n.ringNow().Owners(key, n.cfg.ReplicationFactor, n.mem.Serving) {
 		if o == n.cfg.NodeID {
 			n.inner.ServeHTTP(w, r)
 			return
@@ -366,7 +366,7 @@ func (n *Node) localSnapDoc() server.SnapshotDoc {
 			if present[sk] {
 				continue
 			}
-			if ring.Primary(k, n.mem.Alive) != n.cfg.NodeID {
+			if ring.Primary(k, n.mem.Serving) != n.cfg.NodeID {
 				continue
 			}
 			if old, ok := adopted[sk]; ok && old.WindowEnd >= rec.WindowEnd {
@@ -500,24 +500,52 @@ func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 		n.mem.NoteHeard(msg.From)
 	}
 	n.handleDeparted()
+	n.syncOwnership()
 	writeJSON(w, http.StatusOK, n.mem.View())
 }
 
 // handleWAL streams this node's WAL records after the ?from= sequence
 // in the store's CRC-framed wire encoding — replication is literally
-// segment shipping.
+// segment shipping. Three optional parameters serve the membership
+// protocol: ?peer= identifies the puller so its cursor is recorded as a
+// replication ack (the under-replication scan counts those acks);
+// ?owned_by= filters the export to the named member's key slice under
+// post-join placement (the join bulk pull — steady-state tails stay
+// unfiltered and the client applies its own replica-set filter, so
+// cursors keep advancing over foreign keys); ?bulk=1 routes the bytes
+// through the rebalance throttle.
 func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	from := uint64(0)
-	if q := r.URL.Query().Get("from"); q != "" {
-		v, err := strconv.ParseUint(q, 10, 64)
+	if s := q.Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("bad from %q", q)})
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("bad from %q", s)})
 			return
 		}
 		from = v
 	}
+	if peer := q.Get("peer"); peer != "" {
+		n.mu.Lock()
+		if from > n.ackSeq[peer] {
+			n.ackSeq[peer] = from
+		}
+		n.mu.Unlock()
+	}
+	var keep func(store.Record) bool
+	if ownedBy := q.Get("owned_by"); ownedBy != "" {
+		ring := n.ringNow()
+		future := func(id string) bool { return id == ownedBy || n.mem.Serving(id) }
+		keep = func(rec store.Record) bool {
+			return ring.Primary(rec.Key(), future) == ownedBy
+		}
+	}
+	out := io.Writer(w)
+	if q.Get("bulk") == "1" {
+		out = n.throttleBulk(out)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, _, err := n.st.StreamSince(from, w); err != nil {
+	if _, _, err := n.st.StreamSinceFunc(from, keep, out); err != nil {
 		// Headers are gone; the client's frame CRC catches the torn tail.
 		n.cfg.Logf("cluster: node %s wal stream: %v", n.cfg.NodeID, err)
 	}
@@ -527,6 +555,8 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 // engine state plus the WAL cursor it reflects. The cursor is sampled
 // *before* the state export so a concurrent append is re-delivered by
 // the tail rather than lost between the two.
+// Checkpoint serves are bulk by nature; ?bulk=1 (set by every replica
+// prime) routes the body through the rebalance throttle.
 func (n *Node) handleCkpt(w http.ResponseWriter, r *http.Request) {
 	lastSeq := n.st.LastSeq()
 	b, err := store.EncodeState(n.srv.ExportState(), lastSeq)
@@ -535,6 +565,10 @@ func (n *Node) handleCkpt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("bulk") == "1" {
+		n.throttleBulk(w).Write(b)
+		return
+	}
 	w.Write(b)
 }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -11,21 +12,28 @@ import (
 // lastHeard sweep for failure detection — no indirect probing, which a
 // handful of lightd nodes does not need.
 const (
-	StateAlive = "alive"
-	StateDead  = "dead"
-	StateLeft  = "left" // graceful departure; treated as dead for routing
+	StateAlive   = "alive"
+	StateJoining = "joining" // announced via gossip, bootstrapping; not serving yet
+	StateDead    = "dead"
+	StateLeft    = "left" // graceful departure; treated as dead for routing
 )
 
 // stateRank orders states for merging at equal incarnation: bad news
-// wins, and an explicit leave outranks a suspected death.
+// wins, and an explicit leave outranks a suspected death. Joining sits
+// between alive and dead: a death rumour at equal incarnation still
+// wins (the failure detector applies to joiners too), and the
+// joining→alive cutover re-incarnates, so alive never has to outrank
+// joining at the same incarnation.
 func stateRank(s string) int {
 	switch s {
 	case StateAlive:
 		return 0
-	case StateDead:
+	case StateJoining:
 		return 1
-	case StateLeft:
+	case StateDead:
 		return 2
+	case StateLeft:
+		return 3
 	}
 	return -1
 }
@@ -79,9 +87,13 @@ func (m *membership) Merge(ms []Member) (added bool) {
 	defer m.mu.Unlock()
 	for _, in := range ms {
 		if in.ID == m.self {
-			// Refute rumours of our own death: out-incarnate them.
+			// Refute rumours worse than our actual state — death while we
+			// are alive or joining, or a stale echo of our own joining
+			// phase after cutover — by out-incarnating them.
 			e := m.members[m.self]
-			if in.State != StateAlive && in.State != "" && in.Incarnation >= e.Incarnation && e.State == StateAlive {
+			if in.State != "" && stateRank(in.State) > stateRank(e.State) &&
+				in.Incarnation >= e.Incarnation &&
+				(e.State == StateAlive || e.State == StateJoining) {
 				e.Incarnation = in.Incarnation + 1
 			}
 			continue
@@ -100,7 +112,7 @@ func (m *membership) Merge(ms []Member) (added bool) {
 			(in.Incarnation == e.Incarnation && stateRank(in.State) > stateRank(e.State)) {
 			e.State = in.State
 			e.Incarnation = in.Incarnation
-			if in.State == StateAlive {
+			if in.State == StateAlive || in.State == StateJoining {
 				e.lastHeard = time.Now()
 			}
 		}
@@ -123,14 +135,14 @@ func (m *membership) NoteHeard(id string) {
 	}
 }
 
-// Sweep declares alive members not heard from within failAfter dead,
-// returning the newly dead IDs (sorted) exactly once.
+// Sweep declares alive or joining members not heard from within
+// failAfter dead, returning the newly dead IDs (sorted) exactly once.
 func (m *membership) Sweep() (dead []string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cut := time.Now().Add(-m.failAfter)
 	for id, e := range m.members {
-		if id == m.self || e.State != StateAlive {
+		if id == m.self || (e.State != StateAlive && e.State != StateJoining) {
 			continue
 		}
 		if e.lastHeard.Before(cut) {
@@ -142,8 +154,11 @@ func (m *membership) Sweep() (dead []string) {
 	return dead
 }
 
-// Alive reports whether a node is serving. Self is always alive in its
-// own view.
+// Alive reports whether a node is up and reachable by the failure
+// detector's lights. Self is always alive in its own view. Note this
+// is liveness, not serving eligibility: a joining member is not Alive
+// until it cuts over — use Serving for ownership decisions, which
+// consults the actual state even for self.
 func (m *membership) Alive(id string) bool {
 	if id == m.self {
 		return true
@@ -152,6 +167,76 @@ func (m *membership) Alive(id string) bool {
 	defer m.mu.Unlock()
 	e, ok := m.members[id]
 	return ok && e.State == StateAlive
+}
+
+// Serving reports whether a node currently holds ring ownership: state
+// alive, nothing else. Unlike Alive, self gets no free pass — a
+// joining node must not own keys in its own view until the cutover
+// flips it to alive, or it would admit ingest and answer queries for
+// keys whose history it has not finished pulling.
+func (m *membership) Serving(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	return ok && e.State == StateAlive
+}
+
+// InPlacement reports whether a node participates in replica
+// placement: alive or joining. A joiner keeps (and is sent) the keys it
+// will own before cutover — that is the bulk handoff — while dead and
+// left members fall out of placement so their keys re-replicate onto
+// the surviving successors.
+func (m *membership) InPlacement(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	return ok && (e.State == StateAlive || e.State == StateJoining)
+}
+
+// SelfState returns this node's own membership state.
+func (m *membership) SelfState() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.members[m.self].State
+}
+
+// MarkJoining flags this node as a joiner before its first gossip: the
+// announce spreads the joining state, peers insert it into the ring
+// (and their replica placement), but nobody — including the node
+// itself — treats it as an owner until BecomeServing.
+func (m *membership) MarkJoining() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.members[m.self].State = StateJoining
+}
+
+// BecomeServing is the join cutover: joining → alive under a fresh
+// incarnation, so the transition beats every stale "joining" (or
+// "dead") rumour in one gossip round.
+func (m *membership) BecomeServing() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.members[m.self]
+	if e.State == StateJoining {
+		e.State = StateAlive
+		e.Incarnation++
+	}
+}
+
+// ServingFingerprint renders the sorted serving set as one string —
+// the ownership-change detector: any join cutover, death, leave or
+// revival moves it.
+func (m *membership) ServingFingerprint() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.members))
+	for id, e := range m.members {
+		if e.State == StateAlive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
 }
 
 // URL returns a node's advertised base URL ("" when unknown).

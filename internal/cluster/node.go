@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +24,10 @@ type Config struct {
 	// NodeID names this node; it must appear in Peers.
 	NodeID string
 	// Peers maps node ID to advertised base URL (http://host:port) for
-	// every seed member, including this node.
+	// every seed member, including this node. A joining node lists the
+	// target membership (itself plus the existing cluster); the existing
+	// nodes learn about the joiner through gossip — their own peer sets
+	// never change on disk.
 	Peers map[string]string
 	// ReplicationFactor is how many nodes hold each key's estimates
 	// (primary included). 2 survives any single-node failure.
@@ -35,10 +40,30 @@ type Config struct {
 	// PullInterval is the replica WAL-pull cadence (default 2x
 	// heartbeat); publish notifications cut the latency below it.
 	PullInterval time.Duration
+	// PullBackoffMax caps the jittered exponential backoff a pull loop
+	// applies after consecutive failures (default 20x PullInterval). A
+	// dead peer must not be hammered at the pull cadence for the whole
+	// FailAfter window.
+	PullBackoffMax time.Duration
+	// RepairInterval is the under-replication scan cadence (default 2x
+	// PullInterval).
+	RepairInterval time.Duration
 	// VirtualNodes is the ring's virtual points per node (default 64).
 	VirtualNodes int
 	// HTTPTimeout bounds every intra-cluster request (default 2 s).
 	HTTPTimeout time.Duration
+	// Join starts this node in the joining state: announced to the
+	// cluster and inserted into the ring, but serving nothing until the
+	// bulk pull completes and the node cuts over to alive.
+	Join bool
+	// JoinBarrier, when non-nil, delays the join cutover until the
+	// channel closes (after the bulk pull has completed). Tests use it
+	// to pin the cutover point; production leaves it nil.
+	JoinBarrier <-chan struct{}
+	// RebalanceBytesPerSec bounds the bytes/second this node serves to
+	// bulk transfers (join handoff, replica re-priming) so rebalancing
+	// cannot starve live ingest. 0 disables throttling.
+	RebalanceBytesPerSec int64
 	// Logf receives failover and replication log lines (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -66,6 +91,12 @@ func (c *Config) withDefaults() error {
 	}
 	if c.PullInterval <= 0 {
 		c.PullInterval = 2 * c.HeartbeatInterval
+	}
+	if c.PullBackoffMax <= 0 {
+		c.PullBackoffMax = 20 * c.PullInterval
+	}
+	if c.RepairInterval <= 0 {
+		c.RepairInterval = 2 * c.PullInterval
 	}
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = 64
@@ -100,6 +131,8 @@ type nodeMetrics struct {
 	pulls         atomic.Int64
 	pullErrors    atomic.Int64
 	promotions    atomic.Int64
+	// handoffKeys counts keys adopted at a join cutover.
+	handoffKeys atomic.Int64
 	// watchRedirects counts /v1/watch subscriptions bounced to their
 	// key's owner (long-lived streams are redirected, never proxied).
 	watchRedirects atomic.Int64
@@ -116,12 +149,32 @@ type Node struct {
 	mem    *membership
 	client *http.Client
 	inner  http.Handler
+	rebal  *byteBucket
 
 	mu          sync.Mutex
 	ring        *Ring
 	promoted    map[mapmatch.Key]float64 // key → replicated WindowEnd capped at "stale"
 	deadHandled map[string]bool
 	replicas    map[string]*peerReplica
+	lastServing string
+	started     bool
+	// keySeq is the repair ledger: for every key this node has persisted
+	// as primary, the store sequence its newest record landed at. A key
+	// counts under-replicated while fewer than R-1 serving successors
+	// have acknowledged a pull cursor at or past that sequence.
+	keySeq map[mapmatch.Key]uint64
+	// ackSeq is the newest pull cursor each peer has presented on
+	// /cluster/v1/wal — proof it holds everything up to that sequence.
+	ackSeq map[string]uint64
+
+	// epoch counts ownership changes: every serving-set transition
+	// (death, leave, revival, join cutover) bumps it, evicts moved
+	// watchers and invalidates routing caches.
+	epoch atomic.Uint64
+
+	underrep       atomic.Int64 // keys currently under-replicated
+	underrepPeak   atomic.Int64 // high-water mark since start
+	handoffPending atomic.Int64 // keys awaiting handoff across a join
 
 	notifyCh chan struct{}
 	stop     chan struct{}
@@ -152,9 +205,18 @@ func NewNode(srv *server.Server, st *store.Store, cfg Config) (*Node, error) {
 		promoted:    make(map[mapmatch.Key]float64),
 		deadHandled: make(map[string]bool),
 		replicas:    make(map[string]*peerReplica),
+		keySeq:      make(map[mapmatch.Key]uint64),
+		ackSeq:      make(map[string]uint64),
 		notifyCh:    make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
+	if cfg.RebalanceBytesPerSec > 0 {
+		n.rebal = newByteBucket(cfg.RebalanceBytesPerSec)
+	}
+	if cfg.Join {
+		n.mem.MarkJoining()
+	}
+	n.lastServing = n.mem.ServingFingerprint()
 	for id := range cfg.Peers {
 		if id == cfg.NodeID {
 			continue
@@ -180,16 +242,30 @@ func sortedIDs(peers map[string]string) []string {
 	return ids // NewRing sorts its points; input order is irrelevant
 }
 
-// Start launches the gossip loop, one pull loop per peer and the
-// persist notifier.
+// Start launches the gossip loop, one pull loop per peer, the persist
+// notifier, the repair scanner and — on a joining node — the join
+// driver.
 func (n *Node) Start() {
+	n.mu.Lock()
+	n.started = true
+	replicas := make(map[string]*peerReplica, len(n.replicas))
+	for id, pr := range n.replicas {
+		replicas[id] = pr
+	}
+	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.gossipLoop()
 	n.wg.Add(1)
 	go n.notifierLoop()
-	for id, pr := range n.replicas {
+	n.wg.Add(1)
+	go n.repairLoop()
+	for id, pr := range replicas {
 		n.wg.Add(1)
 		go n.pullLoop(id, pr)
+	}
+	if n.mem.SelfState() == StateJoining {
+		n.wg.Add(1)
+		go n.joinLoop()
 	}
 }
 
@@ -197,6 +273,9 @@ func (n *Node) Start() {
 // silent and the cluster's failure detector takes over, which is
 // exactly what the kill drill exercises.
 func (n *Node) Stop() {
+	n.mu.Lock()
+	n.started = false
+	n.mu.Unlock()
 	n.stopOnce.Do(func() { close(n.stop) })
 	n.wg.Wait()
 }
@@ -209,6 +288,10 @@ func (n *Node) Leave() {
 	n.gossipOnce()
 }
 
+// Epoch returns the ownership epoch — it moves on every serving-set
+// change (death, leave, revival, join cutover).
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
 // ringNow returns the current ring (rebuilt when gossip grows the
 // member set).
 func (n *Node) ringNow() *Ring {
@@ -217,25 +300,50 @@ func (n *Node) ringNow() *Ring {
 	return n.ring
 }
 
+// rebuildRing recomputes the ring over the full member set and opens a
+// replica (plus its pull loop, when running) for any member gossip just
+// introduced — the receiving half of dynamic membership.
 func (n *Node) rebuildRing() {
 	ids := n.mem.IDs()
 	n.mu.Lock()
 	n.ring = NewRing(ids, n.cfg.VirtualNodes)
+	for _, id := range ids {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		if _, ok := n.replicas[id]; ok {
+			continue
+		}
+		pr := &peerReplica{recs: make(map[mapmatch.Key]store.Record), nudge: make(chan struct{}, 1)}
+		n.replicas[id] = pr
+		if n.started {
+			// Add while holding mu: Stop flips started under the same lock
+			// before it waits, so the counter can never race the Wait.
+			n.wg.Add(1)
+			go n.pullLoop(id, pr)
+		}
+	}
 	n.mu.Unlock()
 }
 
 // ownsKey is the ingest filter: a node admits a matched record only
-// when it is the key's current (alive-filtered) primary. When a node
-// dies, ownership of its keys flips to the promoted replica at the
-// next gossip sweep — from then on the survivor ingests them.
+// when it is the key's current serving primary. When a node dies,
+// ownership of its keys flips to the promoted replica at the next
+// gossip sweep; when a joiner cuts over, ownership of its slice flips
+// to it — from then on the new owner ingests them. A joining node owns
+// nothing, including in its own view.
 func (n *Node) ownsKey(k mapmatch.Key) bool {
-	return n.ringNow().Primary(k, n.mem.Alive) == n.cfg.NodeID
+	return n.ringNow().Primary(k, n.mem.Serving) == n.cfg.NodeID
 }
 
-// replicatesKey reports whether this node belongs to k's static
-// replica set — the filter deciding which pulled records to keep.
+// replicatesKey reports whether this node belongs to k's replica set —
+// the filter deciding which pulled records to keep. Placement is over
+// the members that could hold data (alive or joining): when a member
+// dies its successor slides into the replica set and starts keeping the
+// key, which is what re-replication after failure means here, and a
+// joining node starts keeping its future keys before cutover.
 func (n *Node) replicatesKey(k mapmatch.Key) bool {
-	for _, id := range n.ringNow().Owners(k, n.cfg.ReplicationFactor, nil) {
+	for _, id := range n.ringNow().Owners(k, n.cfg.ReplicationFactor, n.mem.InPlacement) {
 		if id == n.cfg.NodeID {
 			return true
 		}
@@ -267,16 +375,25 @@ func (n *Node) healthOverride(k mapmatch.Key, health string) string {
 	return health
 }
 
-// onPersist is the server's persist hook: wake the notifier without
-// ever blocking the store writer.
-func (n *Node) onPersist(uint64) {
+// onPersist is the server's persist hook: record the batch's keys in
+// the repair ledger and wake the notifier, without ever blocking the
+// store writer.
+func (n *Node) onPersist(lastSeq uint64, keys []mapmatch.Key) {
+	if len(keys) > 0 {
+		n.mu.Lock()
+		for _, k := range keys {
+			n.keySeq[k] = lastSeq
+		}
+		n.mu.Unlock()
+	}
 	select {
 	case n.notifyCh <- struct{}{}:
 	default:
 	}
 }
 
-// notifierLoop tells alive peers "I have new WAL" after local appends,
+// notifierLoop tells alive (and joining — they are mid-bulk-pull and
+// want the freshest tail) peers "I have new WAL" after local appends,
 // so replicas pull within an RTT instead of a PullInterval.
 func (n *Node) notifierLoop() {
 	defer n.wg.Done()
@@ -288,7 +405,10 @@ func (n *Node) notifierLoop() {
 		case <-n.notifyCh:
 		}
 		for _, mb := range n.mem.View() {
-			if mb.ID == n.cfg.NodeID || mb.State != StateAlive || mb.URL == "" {
+			if mb.ID == n.cfg.NodeID || mb.URL == "" {
+				continue
+			}
+			if mb.State != StateAlive && mb.State != StateJoining {
 				continue
 			}
 			resp, err := n.client.Post(mb.URL+"/cluster/v1/notify", "application/json", bytes.NewReader(body))
@@ -300,8 +420,8 @@ func (n *Node) notifierLoop() {
 	}
 }
 
-// gossipLoop heartbeats the full member view to every peer and sweeps
-// the failure detector.
+// gossipLoop heartbeats the full member view to every peer, sweeps the
+// failure detector and reconciles ownership with the serving set.
 func (n *Node) gossipLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(n.cfg.HeartbeatInterval)
@@ -316,6 +436,7 @@ func (n *Node) gossipLoop() {
 				n.cfg.Logf("cluster: node %s declared %v dead after %v of silence", n.cfg.NodeID, dead, n.cfg.FailAfter)
 			}
 			n.handleDeparted()
+			n.syncOwnership()
 		}
 	}
 }
@@ -353,18 +474,18 @@ func (n *Node) gossipOnce() {
 }
 
 // handleDeparted promotes once per death (or leave): any key whose
-// alive-filtered primary is now this node, and for which a replica
-// holds a newer estimate than the local engine, is primed into the
-// engine — after which the normal serve, estimate and persist paths
-// treat it like home-grown state. A revived node clears its handled
-// mark so a later death promotes again.
+// serving primary is now this node, and for which a replica holds a
+// newer estimate than the local engine, is primed into the engine —
+// after which the normal serve, estimate and persist paths treat it
+// like home-grown state. A revived node clears its handled mark so a
+// later death promotes again.
 func (n *Node) handleDeparted() {
 	for _, mb := range n.mem.View() {
 		if mb.ID == n.cfg.NodeID {
 			continue
 		}
 		n.mu.Lock()
-		if mb.State == StateAlive {
+		if mb.State == StateAlive || mb.State == StateJoining {
 			delete(n.deadHandled, mb.ID)
 			n.mu.Unlock()
 			continue
@@ -392,7 +513,7 @@ func (n *Node) promoteOrphans(departed string) {
 	for _, pr := range replicas {
 		pr.mu.Lock()
 		for k, rec := range pr.recs {
-			if ring.Primary(k, n.mem.Alive) != n.cfg.NodeID {
+			if ring.Primary(k, n.mem.Serving) != n.cfg.NodeID {
 				continue
 			}
 			if b, ok := best[k]; !ok || rec.WindowEnd > b.WindowEnd {
@@ -424,26 +545,65 @@ func (n *Node) promoteOrphans(departed string) {
 // state (the checkpoint a restart would read), then tail its WAL from
 // the cursor — the same warm-start contract a local restart uses, over
 // HTTP. Ticks bound the staleness; notify nudges cut it to an RTT.
+// Consecutive failures back off exponentially (with jitter, capped at
+// PullBackoffMax) so an unreachable peer is probed gently; a nudge or a
+// success resets the cadence.
 func (n *Node) pullLoop(peerID string, pr *peerReplica) {
 	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.PullInterval)
-	defer t.Stop()
+	fails := 0
+	timer := time.NewTimer(n.cfg.PullInterval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-n.stop:
 			return
 		case <-pr.nudge:
-		case <-t.C:
+			// A nudge is fresh evidence the peer is up: bypass any backoff
+			// and pull immediately.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
 		}
-		if !n.mem.Alive(peerID) {
-			continue
-		}
-		if err := n.pullFrom(peerID, pr); err != nil {
-			n.met.pullErrors.Add(1)
+		if n.mem.Alive(peerID) || n.mem.InPlacement(peerID) {
+			if err := n.pullFrom(peerID, pr); err != nil {
+				fails++
+				n.met.pullErrors.Add(1)
+			} else {
+				fails = 0
+				n.met.pulls.Add(1)
+			}
 		} else {
-			n.met.pulls.Add(1)
+			fails = 0
 		}
+		timer.Reset(n.pullDelay(fails))
 	}
+}
+
+// pullDelay computes the next pull wait: the base interval while
+// healthy, or an exponential backoff with full ±50% jitter after fails
+// consecutive errors, capped at PullBackoffMax. Jitter keeps a fleet of
+// replicas from re-probing a recovering peer in lockstep.
+func (n *Node) pullDelay(fails int) time.Duration {
+	d := n.cfg.PullInterval
+	if fails > 0 {
+		shift := fails
+		if shift > 16 {
+			shift = 16
+		}
+		d = n.cfg.PullInterval << shift
+		if d <= 0 || d > n.cfg.PullBackoffMax {
+			d = n.cfg.PullBackoffMax
+		}
+		d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	}
+	if d <= 0 {
+		d = n.cfg.PullInterval
+	}
+	return d
 }
 
 // pullFrom runs one replication round against a peer.
@@ -470,8 +630,11 @@ func (n *Node) pullFrom(peerID string, pr *peerReplica) error {
 				pr.recs[k] = rec
 			}
 		}
-		pr.primed, pr.lastSeq = true, lastSeq
-		from = lastSeq
+		pr.primed = true
+		if lastSeq > pr.lastSeq {
+			pr.lastSeq = lastSeq
+		}
+		from = pr.lastSeq
 		pr.mu.Unlock()
 	}
 	return n.fetchWAL(base, from, pr)
@@ -480,8 +643,10 @@ func (n *Node) pullFrom(peerID string, pr *peerReplica) error {
 // fetchCheckpoint reads a peer's current merged engine state and WAL
 // cursor. The peer samples the cursor *before* exporting state, so a
 // concurrent append is re-delivered by the tail rather than lost.
+// Checkpoint transfers are the bulk half of replication, so they are
+// marked for the peer's rebalance throttle.
 func (n *Node) fetchCheckpoint(base string) (core.EngineState, uint64, error) {
-	resp, err := n.client.Get(base + "/cluster/v1/ckpt")
+	resp, err := n.client.Get(base + "/cluster/v1/ckpt?bulk=1")
 	if err != nil {
 		return core.EngineState{}, 0, err
 	}
@@ -497,9 +662,11 @@ func (n *Node) fetchCheckpoint(base string) (core.EngineState, uint64, error) {
 }
 
 // fetchWAL tails a peer's WAL from a sequence cursor, folding newer
-// records for keys in our static replica set.
+// records for keys in our replica set. The cursor rides along as the
+// ack: presenting from=N tells the peer we hold everything through N,
+// which is what its under-replication scan counts.
 func (n *Node) fetchWAL(base string, from uint64, pr *peerReplica) error {
-	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/v1/wal?from=%d", base, from))
+	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/v1/wal?from=%d&peer=%s", base, from, url.QueryEscape(n.cfg.NodeID)))
 	if err != nil {
 		return err
 	}
@@ -563,10 +730,22 @@ func (n *Node) replicaSeq(peerID string) uint64 {
 // clusterHealthJSON is the /healthz "cluster" section.
 type clusterHealthJSON struct {
 	Self              string                   `json:"self"`
+	SelfState         string                   `json:"self_state"`
 	ReplicationFactor int                      `json:"replication_factor"`
+	RingEpoch         uint64                   `json:"ring_epoch"`
 	Members           []Member                 `json:"members"`
 	Replicas          map[string]replicaHealth `json:"replicas"`
 	PromotedKeys      int                      `json:"promoted_keys"`
+	// OwnedKeys counts, per serving member, the keys this node knows of
+	// (its own persisted keys plus everything replicated to it) that the
+	// ring currently assigns to that member — the rebalance census.
+	OwnedKeys map[string]int `json:"owned_keys"`
+	// PendingHandoff is how many keys are waiting to move across a join
+	// (on the joiner: keys it will adopt; on a donor: keys it will shed).
+	PendingHandoff int `json:"pending_handoff"`
+	// Underreplicated is how many of this node's primary keys fewer than
+	// ReplicationFactor-1 serving successors have acknowledged.
+	Underreplicated int `json:"underreplicated_keys"`
 }
 
 type replicaHealth struct {
@@ -579,12 +758,22 @@ type replicaHealth struct {
 func (n *Node) healthSection() any {
 	doc := clusterHealthJSON{
 		Self:              n.cfg.NodeID,
+		SelfState:         n.mem.SelfState(),
 		ReplicationFactor: n.cfg.ReplicationFactor,
+		RingEpoch:         n.epoch.Load(),
 		Members:           n.mem.View(),
 		Replicas:          make(map[string]replicaHealth),
+		OwnedKeys:         make(map[string]int),
+		PendingHandoff:    int(n.handoffPending.Load()),
+		Underreplicated:   int(n.underrep.Load()),
 	}
+	ring := n.ringNow()
+	known := make(map[mapmatch.Key]bool)
 	n.mu.Lock()
 	doc.PromotedKeys = len(n.promoted)
+	for k := range n.keySeq {
+		known[k] = true
+	}
 	replicas := make(map[string]*peerReplica, len(n.replicas))
 	for id, pr := range n.replicas {
 		replicas[id] = pr
@@ -593,19 +782,27 @@ func (n *Node) healthSection() any {
 	for id, pr := range replicas {
 		pr.mu.Lock()
 		doc.Replicas[id] = replicaHealth{Primed: pr.primed, LastSeq: pr.lastSeq, Keys: len(pr.recs)}
+		for k := range pr.recs {
+			known[k] = true
+		}
 		pr.mu.Unlock()
+	}
+	for k := range known {
+		if owner := ring.Primary(k, n.mem.Serving); owner != "" {
+			doc.OwnedKeys[owner]++
+		}
 	}
 	return doc
 }
 
 // writeMetrics appends the cluster series to /metrics.
 func (n *Node) writeMetrics(w io.Writer) {
-	counts := map[string]int{StateAlive: 0, StateDead: 0, StateLeft: 0}
+	counts := map[string]int{StateAlive: 0, StateJoining: 0, StateDead: 0, StateLeft: 0}
 	for _, mb := range n.mem.View() {
 		counts[mb.State]++
 	}
 	fmt.Fprintln(w, "# TYPE lightd_cluster_members gauge")
-	for _, st := range []string{StateAlive, StateDead, StateLeft} {
+	for _, st := range []string{StateAlive, StateJoining, StateDead, StateLeft} {
 		fmt.Fprintf(w, "lightd_cluster_members{state=%q} %d\n", st, counts[st])
 	}
 	replicaRecords := 0
@@ -625,14 +822,32 @@ func (n *Node) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "lightd_cluster_replica_records %d\n", replicaRecords)
 	fmt.Fprintln(w, "# TYPE lightd_cluster_promoted_keys gauge")
 	fmt.Fprintf(w, "lightd_cluster_promoted_keys %d\n", promoted)
+	fmt.Fprintln(w, "# TYPE lightd_cluster_ring_epoch gauge")
+	fmt.Fprintf(w, "lightd_cluster_ring_epoch %d\n", n.epoch.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_underreplicated_keys gauge")
+	fmt.Fprintf(w, "lightd_cluster_underreplicated_keys %d\n", n.underrep.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_underreplicated_keys_peak gauge")
+	fmt.Fprintf(w, "lightd_cluster_underreplicated_keys_peak %d\n", n.underrepPeak.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_handoff_pending_keys gauge")
+	fmt.Fprintf(w, "lightd_cluster_handoff_pending_keys %d\n", n.handoffPending.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_handoff_keys_total counter")
+	fmt.Fprintf(w, "lightd_cluster_handoff_keys_total %d\n", n.met.handoffKeys.Load())
 	fmt.Fprintln(w, "# TYPE lightd_cluster_forwards_total counter")
 	fmt.Fprintf(w, "lightd_cluster_forwards_total{outcome=\"ok\"} %d\n", n.met.forwards.Load())
 	fmt.Fprintf(w, "lightd_cluster_forwards_total{outcome=\"error\"} %d\n", n.met.forwardErrors.Load())
 	fmt.Fprintln(w, "# TYPE lightd_cluster_replica_pulls_total counter")
 	fmt.Fprintf(w, "lightd_cluster_replica_pulls_total{outcome=\"ok\"} %d\n", n.met.pulls.Load())
 	fmt.Fprintf(w, "lightd_cluster_replica_pulls_total{outcome=\"error\"} %d\n", n.met.pullErrors.Load())
+	fmt.Fprintln(w, "# TYPE lightd_cluster_pull_errors_total counter")
+	fmt.Fprintf(w, "lightd_cluster_pull_errors_total %d\n", n.met.pullErrors.Load())
 	fmt.Fprintln(w, "# TYPE lightd_cluster_promotions_total counter")
 	fmt.Fprintf(w, "lightd_cluster_promotions_total %d\n", n.met.promotions.Load())
 	fmt.Fprintln(w, "# TYPE lightd_cluster_watch_redirects_total counter")
 	fmt.Fprintf(w, "lightd_cluster_watch_redirects_total %d\n", n.met.watchRedirects.Load())
+	if n.rebal != nil {
+		fmt.Fprintln(w, "# TYPE lightd_cluster_rebalance_throttled_bytes_total counter")
+		fmt.Fprintf(w, "lightd_cluster_rebalance_throttled_bytes_total %d\n", n.rebal.throttledBytes.Load())
+		fmt.Fprintln(w, "# TYPE lightd_cluster_rebalance_throttle_waits_total counter")
+		fmt.Fprintf(w, "lightd_cluster_rebalance_throttle_waits_total %d\n", n.rebal.waits.Load())
+	}
 }

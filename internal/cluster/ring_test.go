@@ -95,6 +95,84 @@ func TestRingCoLocatesPerpendicularApproaches(t *testing.T) {
 	}
 }
 
+// TestRingJoinMovesMinimalKeys pins the rebalance contract a join
+// relies on: growing an N-node ring by one member hands the joiner
+// roughly 1/(N+1) of the keyspace, and *only* those keys — every key
+// whose primary changed moved to the joiner, never between incumbents.
+// That is what keeps the join bulk pull proportional to the joiner's
+// slice instead of reshuffling the whole cluster.
+func TestRingJoinMovesMinimalKeys(t *testing.T) {
+	keys := testKeys(1000)
+	for _, n := range []int{2, 3, 6} {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('a' + i))
+		}
+		before := NewRing(ids, 64)
+		joiner := "zz"
+		after := NewRing(append(append([]string{}, ids...), joiner), 64)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Primary(k, nil), after.Primary(k, nil)
+			if was == is {
+				continue
+			}
+			if is != joiner {
+				t.Fatalf("n=%d: key %v moved %q -> %q, not to the joiner", n, k, was, is)
+			}
+			moved++
+		}
+		share := float64(moved) / float64(len(keys))
+		ideal := 1 / float64(n+1)
+		if share < ideal/2 || share > 2*ideal {
+			t.Fatalf("n=%d: join moved %.1f%% of keys, want about %.1f%%", n, 100*share, 100*ideal)
+		}
+	}
+}
+
+// TestRingCoLocationSurvivesChurn walks an arbitrary join/leave history
+// and checks, at every step and under every liveness filter along the
+// way, that both approaches of a light keep one primary and one replica
+// set. Estimation reads the perpendicular approach's records, so this
+// must hold through any membership sequence, not just the seed set.
+func TestRingCoLocationSurvivesChurn(t *testing.T) {
+	history := [][]string{
+		{"a", "b"},
+		{"a", "b", "c"},
+		{"a", "b", "c", "d"},
+		{"a", "c", "d"},
+		{"a", "c", "d", "e", "f"},
+		{"c", "f"},
+		{"c", "f", "g", "a"},
+	}
+	filters := map[string]func(string) bool{
+		"all":    nil,
+		"first":  func(id string) bool { return id <= "c" },
+		"second": func(id string) bool { return id > "c" },
+	}
+	for step, ids := range history {
+		r := NewRing(ids, 64)
+		for name, filter := range filters {
+			for i := 0; i < 300; i++ {
+				k := mapmatch.Key{Light: roadnet.NodeID(i), Approach: lights.NorthSouth}
+				pk := k.PerpendicularKey()
+				if p, pp := r.Primary(k, filter), r.Primary(pk, filter); p != pp {
+					t.Fatalf("step %d (%v), filter %s, light %d: NS on %q but EW on %q", step, ids, name, i, p, pp)
+				}
+				o, po := r.Owners(k, 2, filter), r.Owners(pk, 2, filter)
+				if len(o) != len(po) {
+					t.Fatalf("step %d (%v), filter %s, light %d: replica sets %v vs %v", step, ids, name, i, o, po)
+				}
+				for j := range o {
+					if o[j] != po[j] {
+						t.Fatalf("step %d (%v), filter %s, light %d: replica sets %v vs %v", step, ids, name, i, o, po)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestRingOwnersSkipDeadNodes(t *testing.T) {
 	r := NewRing([]string{"a", "b", "c", "d"}, 32)
 	k := mapmatch.Key{Light: 7, Approach: lights.NorthSouth}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rebalance throttling: join handoff and repair re-replication move
+// bulk history between nodes, and an unthrottled transfer would compete
+// with live ingest for the sender's CPU, disk and egress. Every bulk
+// transfer on a node — WAL exports and checkpoint serves marked bulk —
+// draws bytes from one shared token bucket, so the aggregate rebalance
+// rate is bounded no matter how many peers are syncing at once, and
+// steady-state tail pulls (small, latency-sensitive) bypass it.
+
+// byteBucket is a token bucket over bytes. Take blocks until the bytes
+// are available, refilling at rate bytes/second with a bounded burst.
+type byteBucket struct {
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	// waits and throttledBytes feed the rebalance metrics: how often a
+	// transfer had to sleep, and how many bytes went through the bucket.
+	waits          atomic.Int64
+	throttledBytes atomic.Int64
+}
+
+// newByteBucket builds a bucket refilling at rate bytes/second. The
+// burst is a quarter second of rate, floored at 64 KiB so small
+// transfers never fragment into byte-sized sleeps.
+func newByteBucket(rate int64) *byteBucket {
+	burst := float64(rate) / 4
+	if burst < 64<<10 {
+		burst = 64 << 10
+	}
+	return &byteBucket{rate: float64(rate), burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take blocks until n bytes of budget are available. Requests larger
+// than the burst are satisfied in burst-sized slices so one huge write
+// cannot monopolize the refill.
+func (b *byteBucket) take(n int) {
+	b.throttledBytes.Add(int64(n))
+	remaining := float64(n)
+	for remaining > 0 {
+		slice := remaining
+		if slice > b.burst {
+			slice = b.burst
+		}
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		var sleep time.Duration
+		if b.tokens >= slice {
+			b.tokens -= slice
+		} else {
+			sleep = time.Duration((slice - b.tokens) / b.rate * float64(time.Second))
+			b.tokens = 0
+		}
+		b.mu.Unlock()
+		if sleep > 0 {
+			b.waits.Add(1)
+			time.Sleep(sleep)
+		}
+		remaining -= slice
+	}
+}
+
+// throttledWriter passes writes through after drawing their size from
+// the bucket.
+type throttledWriter struct {
+	w io.Writer
+	b *byteBucket
+}
+
+func (tw *throttledWriter) Write(p []byte) (int, error) {
+	tw.b.take(len(p))
+	return tw.w.Write(p)
+}
+
+// throttleBulk wraps w in the node's rebalance bucket, or returns w
+// unchanged when throttling is disabled.
+func (n *Node) throttleBulk(w io.Writer) io.Writer {
+	if n.rebal == nil {
+		return w
+	}
+	return &throttledWriter{w: w, b: n.rebal}
+}

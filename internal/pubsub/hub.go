@@ -43,6 +43,11 @@ const (
 	// EvictDeadline: the serving layer timed out writing to the client
 	// socket.
 	EvictDeadline
+	// EvictMoved: the cluster ring reassigned one of the subscriber's
+	// keys to another node — the stream's answers would go stale, so the
+	// client is cut loose to reconnect and be redirected to the new
+	// owner.
+	EvictMoved
 )
 
 // String returns the metric-label form of the reason.
@@ -52,6 +57,8 @@ func (r EvictReason) String() string {
 		return "overflow"
 	case EvictDeadline:
 		return "deadline"
+	case EvictMoved:
+		return "moved"
 	default:
 		return "none"
 	}
@@ -155,6 +162,8 @@ func (s *Subscriber) Evict(reason EvictReason) {
 		s.hub.evictOverflow.Add(1)
 	case EvictDeadline:
 		s.hub.evictDeadline.Add(1)
+	case EvictMoved:
+		s.hub.evictMoved.Add(1)
 	}
 	close(s.kicked)
 }
@@ -180,6 +189,7 @@ type Hub struct {
 	dropped       atomic.Uint64
 	evictOverflow atomic.Uint64
 	evictDeadline atomic.Uint64
+	evictMoved    atomic.Uint64
 }
 
 // NewHub builds a hub with cfg (zero fields defaulted).
@@ -325,6 +335,35 @@ func (h *Hub) Publish(id string, t float64, pubNanos int64, events []Event) Publ
 	return st
 }
 
+// EvictWhere evicts every subscriber whose key set satisfies pred,
+// with the given reason. The predicate runs outside the publish path
+// but under the registry read lock, so it must be cheap and must not
+// call back into the hub. It returns how many subscribers were cut.
+// The serving layer uses it with EvictMoved when the cluster ring
+// reassigns keys: affected watchers are kicked so they reconnect and
+// get redirected to the new owner.
+func (h *Hub) EvictWhere(reason EvictReason, pred func(keys []mapmatch.Key) bool) int {
+	h.mu.RLock()
+	var victims []*Subscriber
+	seen := make(map[*Subscriber]struct{})
+	for _, ent := range h.keys {
+		for sub := range ent.subs {
+			if _, dup := seen[sub]; dup {
+				continue
+			}
+			seen[sub] = struct{}{}
+			if !sub.dead.Load() && pred(sub.keys) {
+				victims = append(victims, sub)
+			}
+		}
+	}
+	h.mu.RUnlock()
+	for _, sub := range victims {
+		sub.Evict(reason)
+	}
+	return len(victims)
+}
+
 // Subscribers reports the current subscription count (the
 // lightd_watch_subscribers gauge, and the fast-path guard that lets a
 // round skip fan-out work entirely when nobody is watching).
@@ -337,6 +376,7 @@ type Stats struct {
 	Dropped         uint64
 	EvictedOverflow uint64
 	EvictedDeadline uint64
+	EvictedMoved    uint64
 }
 
 // Snapshot returns the hub's cumulative counters.
@@ -347,5 +387,6 @@ func (h *Hub) Snapshot() Stats {
 		Dropped:         h.dropped.Load(),
 		EvictedOverflow: h.evictOverflow.Load(),
 		EvictedDeadline: h.evictDeadline.Load(),
+		EvictedMoved:    h.evictMoved.Load(),
 	}
 }

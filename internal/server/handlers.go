@@ -732,6 +732,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# TYPE lightd_watch_evictions_total counter")
 	writeSample(w, "lightd_watch_evictions_total", `reason="overflow"`, float64(hs.EvictedOverflow))
 	writeSample(w, "lightd_watch_evictions_total", `reason="deadline"`, float64(hs.EvictedDeadline))
+	writeSample(w, "lightd_watch_evictions_total", `reason="moved"`, float64(hs.EvictedMoved))
 	fmt.Fprintln(w, "# TYPE lightd_watch_shed_total counter")
 	m.watchShed.write(w, "lightd_watch_shed_total", "")
 	fmt.Fprintln(w, "# TYPE lightd_watch_publish_to_write_seconds histogram")

@@ -244,8 +244,11 @@ type ClusterHooks struct {
 	// ExtraMetrics appends exposition lines to every /metrics render.
 	ExtraMetrics func(w io.Writer)
 	// OnPersist runs after every successful WAL append with the store's
-	// newest sequence number — the replication notification trigger.
-	OnPersist func(lastSeq uint64)
+	// newest sequence number and the distinct keys the batch carried —
+	// the replication notification trigger, and the cluster layer's
+	// under-replication bookkeeping (a key is behind on its replicas
+	// from the moment it is appended until their pull cursors pass it).
+	OnPersist func(lastSeq uint64, keys []mapmatch.Key)
 }
 
 // SetClusterHooks installs the cluster layer's callbacks. Must be
@@ -345,7 +348,17 @@ func (s *Server) persistLoop() {
 		streak = 0
 		s.met.walAppended.Add(int64(len(batch)))
 		if fn := s.hooks.OnPersist; fn != nil {
-			fn(s.cfg.Store.LastSeq())
+			keys := make([]mapmatch.Key, 0, len(batch))
+			seen := make(map[mapmatch.Key]struct{}, len(batch))
+			for _, rec := range batch {
+				k := rec.Key()
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+			fn(s.cfg.Store.LastSeq(), keys)
 		}
 	}
 }
@@ -604,6 +617,12 @@ func (s *Server) SourceStatuses() []ingest.SourceStatus {
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.ServeHandler(ctx, addr, s.Handler())
 }
+
+// BumpRouteEpoch advances the route prediction-cache fence without an
+// estimation round. The cluster layer calls it on every ownership
+// change: cached per-edge waits resolved through the old ring must not
+// outlive it.
+func (s *Server) BumpRouteEpoch() { s.routeEpoch.Add(1) }
 
 // SetRouteService installs the routing service behind /v1/route. Safe
 // to call after Handler() — the handler resolves the service per

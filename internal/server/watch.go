@@ -116,6 +116,25 @@ func (s *Server) publishWatch(eng *core.Engine, at float64, published []mapmatch
 // (also exposed to the cluster layer for its health section).
 func (s *Server) WatchSubscribers() int { return s.hub.Subscribers() }
 
+// EvictMovedWatchers cuts loose every /v1/watch subscriber holding at
+// least one key the moved predicate accepts, counted under eviction
+// reason "moved". The cluster layer calls it when an ownership change
+// strands subscriptions pinned to this node at connect time: the
+// stream would keep serving answers the ring no longer routes here, so
+// the client is kicked to reconnect and get 307'd to the new owner
+// (Last-Event-ID makes the hop lossless). It returns how many
+// subscribers were evicted.
+func (s *Server) EvictMovedWatchers(moved func(mapmatch.Key) bool) int {
+	return s.hub.EvictWhere(pubsub.EvictMoved, func(keys []mapmatch.Key) bool {
+		for _, k := range keys {
+			if moved(k) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
 // handleWatch serves GET /v1/watch?keys=...: an SSE stream of estimate
 // deltas for the subscribed keys. The handler is registered exempt from
 // the in-flight limiter (streams are long-lived; the hub's subscriber

@@ -32,6 +32,18 @@ func (s *Store) LastSeq() uint64 {
 // caller is expected to seed itself from a checkpoint first (see
 // EncodeState) so the stream only needs to cover the tail.
 func (s *Store) StreamSince(from uint64, w io.Writer) (last uint64, n int, err error) {
+	return s.StreamSinceFunc(from, nil, w)
+}
+
+// StreamSinceFunc is StreamSince restricted to records keep accepts —
+// the segment-range-by-key-set export behind cluster rebalancing: a
+// joining node bulk-pulls only the history of keys it is about to own,
+// and a repair transfer ships only the under-replicated key set,
+// instead of every peer replaying every segment. A nil keep accepts
+// everything. Filtering happens after decode, per record, so the
+// on-the-wire framing is identical to StreamSince and ReadStream reads
+// both.
+func (s *Store) StreamSinceFunc(from uint64, keep func(Record) bool, w io.Writer) (last uint64, n int, err error) {
 	s.mu.Lock()
 	if !s.closed {
 		if err := s.flushLocked(false); err != nil {
@@ -58,6 +70,9 @@ func (s *Store) StreamSince(from uint64, w io.Writer) (last uint64, n int, err e
 	for _, sg := range segs {
 		_, _, werr := walkSegment(sg.path, func(rec Record) error {
 			if rec.Seq <= from {
+				return nil
+			}
+			if keep != nil && !keep(rec) {
 				return nil
 			}
 			buf = rec.encode(buf[:0])

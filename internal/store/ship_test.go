@@ -70,6 +70,55 @@ func TestStreamSinceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStreamSinceFuncFiltersByKeySet interleaves two keys' appends
+// across a rotation and checks the filtered export carries exactly one
+// key's records — the rebalance transfer a joining node bulk-pulls.
+func TestStreamSinceFuncFiltersByKeySet(t *testing.T) {
+	cfg := testConfig()
+	cfg.SegmentMaxBytes = 4 * int64(frameHeader+encodedRecordSize)
+	s := mustOpen(t, t.TempDir(), cfg)
+	defer s.Close()
+
+	kept := testKey(7, lights.NorthSouth)
+	other := testKey(8, lights.EastWest)
+	for i := 0; i < 6; i++ {
+		if err := s.Append(rec(kept, float64(300*(i+1)), 90)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec(other, float64(300*(i+1)), 110)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := s.History(kept, 0, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	last, n, err := s.StreamSinceFunc(0, func(r Record) bool { return r.Key() == kept }, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := ReadStream(&buf, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered stream diverged (%d records):\ngot  %+v\nwant %+v", n, got, want)
+	}
+	if last != want[len(want)-1].Seq {
+		t.Fatalf("last = %d, want %d", last, want[len(want)-1].Seq)
+	}
+	for _, r := range got {
+		if r.Key() != kept {
+			t.Fatalf("filtered stream leaked key %v", r.Key())
+		}
+	}
+}
+
 // TestReadStreamRejectsTorn truncates a stream mid-frame and checks the
 // reader fails instead of silently accepting a prefix.
 func TestReadStreamRejectsTorn(t *testing.T) {
