@@ -59,6 +59,8 @@ func main() {
 	netFile := flag.String("network", "", "network file written by tracegen -network (preferred over -rows/-cols/-seed)")
 	osmFile := flag.String("osm", "", "OpenStreetMap XML extract to use as the road network")
 	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	roundWorkers := flag.Int("round-workers", 0, "worker goroutines per estimation round (0 = GOMAXPROCS)")
+	roundStagger := flag.Bool("round-stagger", true, "phase-offset shard estimation rounds so they don't all fire at once")
 	window := flag.Float64("window", 1800, "trailing estimation window, seconds")
 	interval := flag.Float64("interval", 300, "re-estimation interval, seconds")
 	maxBadFrac := flag.Float64("max-bad-frac", 0.05, "abort a source once this fraction of its lines is malformed")
@@ -93,6 +95,9 @@ func main() {
 	if *shards < 0 {
 		fatal(fmt.Errorf("-shards must be >= 0 (0 means default), got %d", *shards))
 	}
+	if *roundWorkers < 0 {
+		fatal(fmt.Errorf("-round-workers must be >= 0 (0 means GOMAXPROCS), got %d", *roundWorkers))
+	}
 	if *maxBadFrac < 0 || *maxBadFrac > 1 {
 		fatal(fmt.Errorf("-max-bad-frac must be within [0, 1], got %g", *maxBadFrac))
 	}
@@ -112,6 +117,8 @@ func main() {
 	}
 	cfg.Realtime.Window = *window
 	cfg.Realtime.Interval = *interval
+	cfg.Realtime.RoundWorkers = *roundWorkers
+	cfg.RoundStagger = *roundStagger
 	cfg.Lenient.MaxBadFraction = *maxBadFrac
 	cfg.TickEvery = *tick
 	cfg.ReadTimeout = *readTimeout

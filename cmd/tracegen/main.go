@@ -22,22 +22,35 @@
 //	tracegen -chaos-proxy 127.0.0.1:7001 -chaos-conn-bytes 65536 &
 //	lightd -in tcp+dial://127.0.0.1:7001
 //
+// With -megacity N the generator switches to the district-sharded
+// megacity: N independently simulated Rows×Cols districts composed into
+// one road network with globally unique light IDs and plates. Each
+// district's trace goes to its own file (-o trace.csv becomes
+// trace-d00.csv, trace-d01.csv, ...) so the feed can be replayed
+// partitioned, exactly how a sharded lightd ingests it; -network and
+// -truth describe the merged city.
+//
 // Usage:
 //
 //	tracegen -taxis 300 -hours 1 -rows 4 -cols 4 -o trace.csv -truth truth.csv
 //	tracegen -hostile -o hostile.csv.gz            # reference hostile feed
 //	tracegen -fault-corrupt 0.02 -fault-dup 0.1 -o dirty.csv
 //	tracegen -stream -speedup 120 -hostile | lightd -in -
+//	tracegen -megacity 25 -rows 20 -cols 20 -taxis 1120 -hours 24 \
+//	       -o mega.csv.gz -network mega-net.txt -truth mega-truth.csv
 package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +71,8 @@ func main() {
 	out := flag.String("o", "trace.csv", "output trace file (Table-I CSV; .gz compresses)")
 	truthOut := flag.String("truth", "", "optional ground-truth schedule file")
 	netOut := flag.String("network", "", "optional network file (complete map + light ground truth)")
+	megacity := flag.Int("megacity", 0, "compose this many independently simulated -rows x -cols districts into one city; -taxis sizes each district's fleet and -o fans out to one trace file per district")
+	diurnal := flag.Bool("diurnal", false, "sample reports through the Shenzhen diurnal activity profile")
 
 	hostile := flag.Bool("hostile", false, "enable every fault injector at the reference hostile rates")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (independent of -seed)")
@@ -84,12 +99,33 @@ func main() {
 		fatal(fmt.Errorf("-speedup must be positive, got %v", *speedup))
 	}
 
+	if *megacity > 0 {
+		anyFault := *hostile || *corrupt > 0 || *dup > 0 || *reorder > 0 ||
+			*skew > 0 || *freeze > 0 || *teleport > 0 || *burstDrop > 0
+		if *stream || *chaosProxy != "" || anyFault {
+			fatal(fmt.Errorf("-megacity writes per-district files; replay them with lightd's multi-source -in rather than -stream/-chaos-proxy, and inject faults per district file"))
+		}
+		if err := runMegacity(experiments.MegacityConfig{
+			Districts:        *megacity,
+			Rows:             *rows,
+			Cols:             *cols,
+			TaxisPerDistrict: *taxis,
+			Seed:             *seed,
+			DynamicShare:     *dynShare,
+			Diurnal:          *diurnal,
+		}, *hours*3600, *out, *netOut, *truthOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := experiments.DefaultWorldConfig()
 	cfg.Taxis = *taxis
 	cfg.Horizon = *hours * 3600
 	cfg.Rows, cfg.Cols = *rows, *cols
 	cfg.Seed = *seed
 	cfg.DynamicShare = *dynShare
+	cfg.Diurnal = *diurnal
 	world, err := experiments.BuildWorld(cfg)
 	if err != nil {
 		fatal(err)
@@ -124,36 +160,15 @@ func main() {
 	}
 
 	if *netOut != "" {
-		nf, err := os.Create(*netOut)
-		if err != nil {
+		if err := writeNetworkFile(*netOut, world.Net, status); err != nil {
 			fatal(err)
 		}
-		if err := roadnet.WriteNetwork(nf, world.Net); err != nil {
-			fatal(err)
-		}
-		if err := nf.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(status, "wrote network to %s\n", *netOut)
 	}
 
 	if *truthOut != "" {
-		tf, err := os.Create(*truthOut)
-		if err != nil {
+		if err := writeTruthFile(*truthOut, world.Net, cfg.Horizon/2, status); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(tf, "light,approach,cycle,red,offset")
-		mid := cfg.Horizon / 2
-		for _, nd := range world.Net.SignalisedNodes() {
-			for _, app := range []lights.Approach{lights.NorthSouth, lights.EastWest} {
-				s := nd.Light.ScheduleFor(app, mid)
-				fmt.Fprintf(tf, "%d,%s,%.0f,%.0f,%.0f\n", nd.ID, app, s.Cycle, s.Red, s.Offset)
-			}
-		}
-		if err := tf.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(status, "wrote ground truth to %s\n", *truthOut)
 	}
 
 	if *chaosProxy != "" {
@@ -309,6 +324,117 @@ func serveChaosProxy(addr string, recs []trace.Record, fcfg faults.Config, corru
 	fmt.Fprintf(os.Stderr, "tracegen: chaos proxy served %d conns, %d B; %d resets, %d cuts, %d forced disconnects, %d stalls, %d trickles\n",
 		st.Conns, st.BytesRelayed, st.Resets, st.Cuts, st.ForcedDisconnects, st.Stalls, st.Trickles)
 	return err
+}
+
+// writeNetworkFile serialises the (possibly merged) road network.
+func writeNetworkFile(path string, net *roadnet.Network, status io.Writer) error {
+	nf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := roadnet.WriteNetwork(nf, net); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "wrote network to %s\n", path)
+	return nil
+}
+
+// writeTruthFile dumps every light's mid-run schedule for offline scoring.
+func writeTruthFile(path string, net *roadnet.Network, mid float64, status io.Writer) error {
+	tf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(tf, "light,approach,cycle,red,offset")
+	for _, nd := range net.SignalisedNodes() {
+		for _, app := range []lights.Approach{lights.NorthSouth, lights.EastWest} {
+			s := nd.Light.ScheduleFor(app, mid)
+			fmt.Fprintf(tf, "%d,%s,%.0f,%.0f,%.0f\n", nd.ID, app, s.Cycle, s.Red, s.Offset)
+		}
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "wrote ground truth to %s\n", path)
+	return nil
+}
+
+// districtPath derives district i's trace file from the -o path by
+// inserting "-dNN" before the extension: trace.csv.gz -> trace-d07.csv.gz.
+func districtPath(path string, i int) string {
+	gz := ""
+	if strings.HasSuffix(path, ".gz") {
+		gz = ".gz"
+		path = strings.TrimSuffix(path, ".gz")
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-d%02d%s%s", strings.TrimSuffix(path, ext), i, ext, gz)
+}
+
+// runMegacity generates the district-sharded city: one trace file per
+// district (streamed, so a full-day 10k-light city never holds more than
+// one record in memory per district), plus the merged network and ground
+// truth. Districts simulate independently — the whole-city trace is their
+// union, and each file is one shard of the feed.
+func runMegacity(mcfg experiments.MegacityConfig, horizon float64, out, netOut, truthOut string) error {
+	m, err := experiments.BuildMegacity(mcfg)
+	if err != nil {
+		return err
+	}
+	if netOut != "" {
+		if err := writeNetworkFile(netOut, m.Net, os.Stdout); err != nil {
+			return err
+		}
+	}
+	if truthOut != "" {
+		if err := writeTruthFile(truthOut, m.Net, horizon/2, os.Stdout); err != nil {
+			return err
+		}
+	}
+	total := 0
+	for _, d := range m.Districts {
+		path := districtPath(out, d.Index)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		var w io.Writer = f
+		var zw *gzip.Writer
+		if strings.HasSuffix(path, ".gz") {
+			zw = gzip.NewWriter(f)
+			w = zw
+		}
+		bw := bufio.NewWriter(w)
+		n := 0
+		err = d.StreamRecords(horizon, func(r trace.Record) error {
+			if _, err := bw.WriteString(r.MarshalCSV()); err != nil {
+				return err
+			}
+			n++
+			return bw.WriteByte('\n')
+		})
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err == nil && zw != nil {
+			err = zw.Close()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("district %d: %w", d.Index, err)
+		}
+		total += n
+		fmt.Printf("wrote %d records to %s\n", n, path)
+	}
+	fmt.Printf("megacity: %d districts, %d lights, %d records across %d trace files\n",
+		len(m.Districts), m.Lights, total, len(m.Districts))
+	return nil
 }
 
 func fatal(err error) {

@@ -257,16 +257,7 @@ func runPipelineKeys(part mapmatch.Partition, keys []mapmatch.Key, t0, t1 float6
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(keys) {
-		workers = len(keys)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := effectiveWorkers(cfg.Workers, len(keys))
 	// Stop extraction is global (see BuildStopIndex) and shared,
 	// read-only, by all workers.
 	stopIdx, err := BuildStopIndex(part, cfg.Stops)
@@ -274,29 +265,57 @@ func runPipelineKeys(part mapmatch.Partition, keys []mapmatch.Key, t0, t1 float6
 		return nil, err
 	}
 	results := make([]Result, len(keys))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := getScratch()
-			defer putScratch(sc)
-			for i := range jobs {
-				results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg, sc)
-			}
-		}()
+	if workers == 1 {
+		// Serial fast path: no goroutine, channel, or scheduler traffic,
+		// so workers=1 is a true baseline for the scaling benches and the
+		// cheapest shape for the tiny rounds of a quiet shard.
+		sc := getScratch()
+		for i := range keys {
+			results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg, sc)
+		}
+		putScratch(sc)
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := getScratch()
+				defer putScratch(sc)
+				for i := range jobs {
+					results[i] = identifyOneSafe(part, stopIdx, keys[i], t0, t1, cfg, sc)
+				}
+			}()
+		}
+		for i := range keys {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	for i := range keys {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 	out := make(map[mapmatch.Key]Result, len(keys))
 	for i, k := range keys {
 		out[k] = results[i]
 	}
 	return out, nil
+}
+
+// effectiveWorkers resolves a configured worker count (0 = GOMAXPROCS)
+// against the number of keys a round actually recomputes: never more
+// workers than keys, never fewer than one.
+func effectiveWorkers(configured, nkeys int) int {
+	w := configured
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nkeys {
+		w = nkeys
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // identifyHook, when non-nil, runs at the start of every per-approach

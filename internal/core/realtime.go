@@ -47,6 +47,18 @@ type RealtimeConfig struct {
 	// tests and for operators who prefer predictable round cost over
 	// proportional cost.
 	FullReestimate bool
+	// RoundWorkers bounds the identification worker pool of an estimation
+	// round. 0 means Pipeline.Workers decides (which itself defaults to
+	// GOMAXPROCS); any other value overrides it per round. Results are
+	// identical for every worker count — the pool only reorders the
+	// per-key work, never the published state.
+	RoundWorkers int
+	// RoundOffset delays the engine's first estimation round by this many
+	// stream seconds past the first Advance, after which rounds keep the
+	// usual Interval cadence. The serving layer staggers its shards'
+	// offsets so N engines don't all start a round on the same tick.
+	// Must be in [0, Interval).
+	RoundOffset float64
 }
 
 // DefaultRealtimeConfig matches the paper's cadence.
@@ -88,6 +100,12 @@ func (c RealtimeConfig) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if c.RoundWorkers < 0 {
+		return fmt.Errorf("core: negative RoundWorkers %d", c.RoundWorkers)
+	}
+	if c.RoundOffset < 0 || c.RoundOffset >= c.Interval {
+		return fmt.Errorf("core: RoundOffset %v outside [0, Interval=%v)", c.RoundOffset, c.Interval)
 	}
 	return nil
 }
@@ -291,7 +309,10 @@ func (e *Engine) Advance(t float64) ([]KeyedChange, error) {
 	}
 	e.now = t
 	if e.nextRun == 0 {
-		e.nextRun = t // first estimation happens at the first Advance past data
+		// First estimation happens at the first Advance past data, plus the
+		// configured phase offset (shard pacing). Rounds between t and the
+		// offset are not skipped — runAt > t just waits for a later Advance.
+		e.nextRun = t + e.cfg.RoundOffset
 	}
 	runAt := e.nextRun
 	e.mu.Unlock()
@@ -343,6 +364,10 @@ type RoundStats struct {
 	// Version is the engine version after this round's bump: a snapshot
 	// taken at Version already reflects every key in Published.
 	Version uint64
+	// Workers is the effective identification parallelism of this round:
+	// the resolved worker count after RoundWorkers/Pipeline.Workers
+	// defaulting and clamping to the number of recomputed keys.
+	Workers int
 }
 
 // SetRoundObserver registers fn to run after every estimation round,
@@ -457,7 +482,12 @@ func (e *Engine) estimateRound(at float64) ([]KeyedChange, RoundStats, error) {
 
 	// --- Identify: the expensive part, outside every engine lock.
 	sortKeys(recompute)
-	results, err := runPipelineKeys(view, recompute, t0, at, e.cfg.Pipeline)
+	pcfg := e.cfg.Pipeline
+	if e.cfg.RoundWorkers != 0 {
+		pcfg.Workers = e.cfg.RoundWorkers
+	}
+	stats.Workers = effectiveWorkers(pcfg.Workers, len(recompute))
+	results, err := runPipelineKeys(view, recompute, t0, at, pcfg)
 	if err != nil {
 		return nil, stats, err
 	}

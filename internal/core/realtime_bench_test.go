@@ -69,9 +69,10 @@ func benchRecords(keyIdx int, t0, t1 float64) []mapmatch.Matched {
 // seedBenchEngine builds an engine, fills one full window of data for
 // every approach and runs the first estimation round, so the timed loop
 // starts from a warm steady state.
-func seedBenchEngine(b *testing.B, nKeys int) *Engine {
+func seedBenchEngine(b *testing.B, nKeys, workers int) *Engine {
 	b.Helper()
 	cfg := DefaultRealtimeConfig()
+	cfg.RoundWorkers = workers
 	eng, err := NewEngine(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -88,7 +89,10 @@ func seedBenchEngine(b *testing.B, nKeys int) *Engine {
 // BenchmarkEngineAdvance measures one steady-state estimation tick.
 // Dense feeds fresh records to every approach each interval (a full
 // recompute); Dirty5pct feeds a rotating 5 % of the approaches, the
-// city-scale regime the incremental engine targets.
+// city-scale regime the incremental engine targets. The w1 variants pin
+// the round to one identification worker (the serial baseline); wmax
+// lets the pool default to GOMAXPROCS — run with `-cpu 1,2,4,8` for the
+// scaling curve (BENCH_6.json).
 func BenchmarkEngineAdvance(b *testing.B) {
 	const nKeys = 40
 	for _, tc := range []struct {
@@ -98,46 +102,54 @@ func BenchmarkEngineAdvance(b *testing.B) {
 		{"Dense", 1},
 		{"Dirty5pct", 20},
 	} {
-		b.Run(tc.name, func(b *testing.B) {
-			eng := seedBenchEngine(b, nKeys)
-			t := 1800.0
-			// Untimed warm-up ticks so both variants measure their own
-			// steady state rather than the transition out of the dense
-			// seed window.
-			for r := 1; r <= 3; r++ {
-				t += 300
-				for j := 0; j < nKeys; j++ {
-					if (j+r)%tc.stride == 0 {
-						eng.Ingest(benchRecords(j, t-300, t))
+		for _, wc := range []struct {
+			name    string
+			workers int
+		}{
+			{"w1", 1},
+			{"wmax", 0},
+		} {
+			b.Run(tc.name+"/"+wc.name, func(b *testing.B) {
+				eng := seedBenchEngine(b, nKeys, wc.workers)
+				t := 1800.0
+				// Untimed warm-up ticks so both variants measure their own
+				// steady state rather than the transition out of the dense
+				// seed window.
+				for r := 1; r <= 3; r++ {
+					t += 300
+					for j := 0; j < nKeys; j++ {
+						if (j+r)%tc.stride == 0 {
+							eng.Ingest(benchRecords(j, t-300, t))
+						}
+					}
+					if _, err := eng.Advance(t); err != nil {
+						b.Fatal(err)
 					}
 				}
-				if _, err := eng.Advance(t); err != nil {
-					b.Fatal(err)
-				}
-			}
-			batches := make([][]mapmatch.Matched, nKeys)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				t += 300
-				for j := 0; j < nKeys; j++ {
-					batches[j] = nil
-					if (j+i)%tc.stride == 0 {
-						batches[j] = benchRecords(j, t-300, t)
+				batches := make([][]mapmatch.Matched, nKeys)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					t += 300
+					for j := 0; j < nKeys; j++ {
+						batches[j] = nil
+						if (j+i)%tc.stride == 0 {
+							batches[j] = benchRecords(j, t-300, t)
+						}
+					}
+					b.StartTimer()
+					for j := 0; j < nKeys; j++ {
+						if batches[j] != nil {
+							eng.Ingest(batches[j])
+						}
+					}
+					if _, err := eng.Advance(t); err != nil {
+						b.Fatal(err)
 					}
 				}
-				b.StartTimer()
-				for j := 0; j < nKeys; j++ {
-					if batches[j] != nil {
-						eng.Ingest(batches[j])
-					}
-				}
-				if _, err := eng.Advance(t); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -149,7 +161,7 @@ func BenchmarkEngineAdvance(b *testing.B) {
 // them in microseconds.
 func BenchmarkEngineIngestDuringEstimation(b *testing.B) {
 	const nKeys = 40
-	eng := seedBenchEngine(b, nKeys)
+	eng := seedBenchEngine(b, nKeys, 0)
 	started := make(chan struct{})
 	var once sync.Once
 	identifyHook = func(mapmatch.Key) {

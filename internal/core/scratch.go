@@ -68,7 +68,10 @@ func putScratch(sc *identifyScratch) { scratchPool.Put(sc) }
 
 // plan returns the cached FFT plan for grid length n, building it on
 // first use. The estimation tick sees one or two distinct lengths, so the
-// map stays tiny and steady-state lookups allocate nothing.
+// map stays tiny and steady-state lookups allocate nothing. Plan
+// instances are strictly per-scratch (per-worker) because their I/O
+// buffers are mutable; the expensive twiddle/chirp tables behind them
+// are immutable and shared across all workers by dsp's plan-core cache.
 func (sc *identifyScratch) plan(n int) (*dsp.FFTPlan, error) {
 	if p := sc.plans[n]; p != nil {
 		return p, nil

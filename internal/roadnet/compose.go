@@ -1,0 +1,40 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"taxilight/internal/geo"
+	"taxilight/internal/lights"
+)
+
+// AppendNetwork copies every node and segment of src into the
+// non-finalized dst, translating positions by offset and light IDs by
+// lightIDOffset. It returns the dst NodeID the first src node was
+// assigned; src node i maps to base+i, so callers can remap matched keys
+// between the two frames with simple arithmetic.
+//
+// This is the megacity composition primitive: districts are generated
+// (and simulated) as independent small networks, then appended into one
+// city network at disjoint planar offsets for serving and serialization.
+// Controllers are immutable after construction, so the copied
+// intersections share src's controllers; only the Intersection envelope
+// is re-created to carry the shifted ID.
+func AppendNetwork(dst, src *Network, offset geo.XY, lightIDOffset int) (NodeID, error) {
+	if dst.finalized {
+		return 0, fmt.Errorf("roadnet: AppendNetwork after Finalize")
+	}
+	base := NodeID(len(dst.nodes))
+	for _, nd := range src.Nodes() {
+		var light *lights.Intersection
+		if nd.Light != nil {
+			light = &lights.Intersection{ID: nd.Light.ID + lightIDOffset, Ctrl: nd.Light.Ctrl}
+		}
+		dst.AddNode(nd.Pos.Add(offset), light)
+	}
+	for _, seg := range src.Segments() {
+		if _, err := dst.AddSegment(base+seg.From, base+seg.To, seg.Name, seg.SpeedLimit); err != nil {
+			return 0, err
+		}
+	}
+	return base, nil
+}

@@ -1,0 +1,109 @@
+package roadnet
+
+import (
+	"testing"
+
+	"taxilight/internal/geo"
+)
+
+func TestAppendNetworkTranslatesDistricts(t *testing.T) {
+	gcfg := DefaultGridConfig()
+	gcfg.Rows, gcfg.Cols = 3, 3
+	gcfg.Seed = 7
+	d0, err := GenerateGrid(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg.Seed = 8
+	d1, err := GenerateGrid(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	city := NewNetwork(gcfg.Origin)
+	base0, err := AppendNetwork(city, d0, geo.XY{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightsPer := len(d0.SignalisedNodes())
+	base1, err := AppendNetwork(city, d1, geo.XY{X: 50_000}, lightsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := city.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	if base0 != 0 || int(base1) != d0.NumNodes() {
+		t.Fatalf("bases = %d, %d; want 0, %d", base0, base1, d0.NumNodes())
+	}
+	if city.NumNodes() != d0.NumNodes()+d1.NumNodes() {
+		t.Fatalf("merged nodes = %d, want %d", city.NumNodes(), d0.NumNodes()+d1.NumNodes())
+	}
+	if city.NumSegments() != d0.NumSegments()+d1.NumSegments() {
+		t.Fatalf("merged segments = %d, want %d", city.NumSegments(), d0.NumSegments()+d1.NumSegments())
+	}
+
+	// Light IDs must be globally unique across districts.
+	seen := map[int]bool{}
+	for _, nd := range city.SignalisedNodes() {
+		if seen[nd.Light.ID] {
+			t.Fatalf("duplicate light ID %d in merged network", nd.Light.ID)
+		}
+		seen[nd.Light.ID] = true
+	}
+	if len(seen) != 2*lightsPer {
+		t.Fatalf("merged network has %d lights, want %d", len(seen), 2*lightsPer)
+	}
+
+	// Translation preserves district geometry: same segment lengths and
+	// headings, positions shifted by exactly the offset.
+	for i, seg := range d1.Segments() {
+		merged := city.Segment(SegmentID(d0.NumSegments() + i))
+		if merged.Length() != seg.Length() || merged.Heading() != seg.Heading() {
+			t.Fatalf("segment %d changed geometry: len %v→%v heading %v→%v",
+				i, seg.Length(), merged.Length(), seg.Heading(), merged.Heading())
+		}
+	}
+	for i, nd := range d1.Nodes() {
+		merged := city.Node(NodeID(d0.NumNodes() + i))
+		want := nd.Pos.Add(geo.XY{X: 50_000})
+		if merged.Pos != want {
+			t.Fatalf("node %d at %v, want %v", i, merged.Pos, want)
+		}
+		// Schedules ride along through the shared controllers.
+		if nd.Light != nil {
+			if merged.Light == nil {
+				t.Fatalf("node %d lost its light in the merge", i)
+			}
+			if merged.Light.ScheduleFor(0, 1000) != nd.Light.ScheduleFor(0, 1000) {
+				t.Fatalf("node %d schedule changed in the merge", i)
+			}
+		}
+	}
+
+	// The merged network round-trips through the serializer (megacity
+	// truth/network files depend on this).
+	// Matching inside one district must resolve to that district's nodes:
+	// the offsets keep districts geometrically disjoint.
+	q := d1.Node(0).Pos.Add(geo.XY{X: 50_000})
+	node, _, ok := city.NearestLight(q, 2000)
+	if !ok {
+		t.Fatal("no light near translated district-1 node")
+	}
+	if int(node.ID) < d0.NumNodes() {
+		t.Fatalf("nearest light %d resolved into district 0", node.ID)
+	}
+}
+
+func TestAppendNetworkRejectsFinalized(t *testing.T) {
+	gcfg := DefaultGridConfig()
+	gcfg.Rows, gcfg.Cols = 2, 2
+	d, err := GenerateGrid(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendNetwork(d, d, geo.XY{}, 0); err == nil {
+		t.Fatal("AppendNetwork into a finalized network did not error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"taxilight/internal/core"
+	"taxilight/internal/dsp"
 	"taxilight/internal/ingest"
 	"taxilight/internal/lights"
 	"taxilight/internal/mapmatch"
@@ -673,6 +674,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# TYPE lightd_estimate_keys_total counter")
 	writeSample(w, "lightd_estimate_keys_total", `outcome="recomputed"`, float64(m.keysRecomputed.Load()))
 	writeSample(w, "lightd_estimate_keys_total", `outcome="carried"`, float64(m.keysCarried.Load()))
+	fmt.Fprintln(w, "# TYPE lightd_estimate_rounds_total counter")
+	m.estimateRounds.write(w, "lightd_estimate_rounds_total", "")
+	fmt.Fprintln(w, "# TYPE lightd_estimate_workers gauge")
+	m.estimateWorkers.write(w, "lightd_estimate_workers", "")
+	hits, misses, cached := dsp.PlanCacheStats()
+	fmt.Fprintln(w, "# TYPE lightd_fft_plan_cache_total counter")
+	writeSample(w, "lightd_fft_plan_cache_total", `outcome="hit"`, float64(hits))
+	writeSample(w, "lightd_fft_plan_cache_total", `outcome="miss"`, float64(misses))
+	fmt.Fprintln(w, "# TYPE lightd_fft_plan_cache_size gauge")
+	writeSample(w, "lightd_fft_plan_cache_size", "", float64(cached))
 
 	if st := s.cfg.Store; st != nil {
 		ss := st.Stats()

@@ -1,0 +1,24 @@
+//go:build race
+
+package server
+
+import "taxilight/internal/experiments"
+
+// smokeMegacityConfig under the race detector: the full 512-light smoke
+// costs 10-20× with -race instrumentation, so the general race test job
+// runs a shrunken city that still covers every code path (multi-district
+// compose, sharded dispatch, parallel rounds, SLO assertions). The
+// dedicated non-race CI step runs the full shape.
+func smokeMegacityConfig() (cfg experiments.MegacityConfig, horizon float64, shards int) {
+	cfg = experiments.MegacityConfig{
+		Districts:        2,
+		Rows:             4,
+		Cols:             4,
+		TaxisPerDistrict: 60,
+		Seed:             42,
+		// Full reporting: a one-hour horizon at the midnight epoch would
+		// fall in the diurnal activity trough.
+		Diurnal: false,
+	}
+	return cfg, 3600, 4
+}

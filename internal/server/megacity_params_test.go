@@ -1,0 +1,23 @@
+//go:build !race
+
+package server
+
+import "taxilight/internal/experiments"
+
+// smokeMegacityConfig is the CI smoke shape: 512 lights across 8
+// districts, two simulated hours — big enough to exercise the sharded
+// feed, the parallel rounds and the SLO accounting, small enough for the
+// regular test job.
+func smokeMegacityConfig() (cfg experiments.MegacityConfig, horizon float64, shards int) {
+	cfg = experiments.MegacityConfig{
+		Districts:        8,
+		Rows:             8,
+		Cols:             8,
+		TaxisPerDistrict: 200,
+		Seed:             42,
+		// A two-hour horizon starting at the midnight epoch would fall in
+		// the diurnal activity trough; the smoke wants full reporting.
+		Diurnal: false,
+	}
+	return cfg, 7200, 8
+}

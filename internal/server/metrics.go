@@ -134,12 +134,17 @@ type metrics struct {
 	estimateAge *histogram // observed at every snapshot rebuild
 
 	// Incremental-estimation series, fed by the engines' round observer:
-	// wall time per round, engine-lock hold per round, and how many
-	// approaches each round recomputed vs carried forward unchanged.
+	// wall time per round, engine-lock hold per round, how many
+	// approaches each round recomputed vs carried forward unchanged,
+	// round count, and the effective identification parallelism of the
+	// most recent round (the resolved -round-workers value after
+	// clamping to the round's dirty-key count).
 	estimateRound    *histogram
 	estimateLockHold *histogram
 	keysRecomputed   counter
 	keysCarried      counter
+	estimateRounds   counter
+	estimateWorkers  gauge
 
 	// Durable-store series: queue accounting (appended vs dropped at
 	// the bounded persistence queue), failures, and WAL latency split

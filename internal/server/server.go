@@ -11,6 +11,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
@@ -113,6 +114,19 @@ type Config struct {
 	// DebugEndpoints additionally registers /debug/* handlers (panic and
 	// block drills). Off in production, on in chaos tests.
 	DebugEndpoints bool
+	// RoundStagger phases the shards' estimation rounds across the
+	// Interval instead of letting all of them fire on the same stream
+	// tick: shard i's first round is delayed by i·(Interval/Shards) plus
+	// a small deterministic jitter, and the wall-clock Advance ticks get
+	// the same fractional phasing. N synchronized dense rounds produce an
+	// N-times CPU spike every Interval; staggered rounds smooth it to a
+	// rolling load. Disable only for tests that need bit-identical round
+	// timing across shard counts.
+	RoundStagger bool
+	// OnRound, when set, observes every shard's completed estimation
+	// rounds (after the built-in metrics are updated). The megacity soak
+	// uses it to collect round-time percentiles without scraping.
+	OnRound func(shard int, st core.RoundStats)
 }
 
 // DefaultConfig is the posture lightd starts with: four shards, the
@@ -142,6 +156,7 @@ func DefaultConfig() Config {
 		WatchQueue:         32,
 		WatchWriteTimeout:  5 * time.Second,
 		WatchHeartbeat:     15 * time.Second,
+		RoundStagger:       true,
 	}
 }
 
@@ -276,26 +291,54 @@ func New(matcher *mapmatch.Matcher, cfg Config) (*Server, error) {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		eng, err := core.NewEngine(cfg.Realtime)
+		engCfg := cfg.Realtime
+		var tickPhase time.Duration
+		if cfg.RoundStagger && cfg.Shards > 1 {
+			engCfg.RoundOffset = shardRoundOffset(i, cfg.Shards, cfg.Realtime.Interval)
+			tickPhase = cfg.TickEvery * time.Duration(i) / time.Duration(cfg.Shards)
+		}
+		eng, err := core.NewEngine(engCfg)
 		if err != nil {
 			return nil, err
 		}
+		shardID := i
 		eng.SetRoundObserver(func(st core.RoundStats) {
 			s.met.estimateRound.Observe(st.Duration.Seconds())
 			s.met.estimateLockHold.Observe(st.LockHold.Seconds())
 			s.met.keysRecomputed.Add(int64(st.Recomputed))
 			s.met.keysCarried.Add(int64(st.Carried))
+			s.met.estimateRounds.Add(1)
+			s.met.estimateWorkers.Set(float64(st.Workers))
 			s.routeEpoch.Add(1)
 			s.publishWatch(eng, st.At, st.Published)
+			if fn := s.cfg.OnRound; fn != nil {
+				fn(shardID, st)
+			}
 		})
 		s.shards = append(s.shards, &shard{
 			id:            i,
 			engine:        eng,
 			in:            make(chan []mapmatch.Matched, cfg.ShardBuffer),
+			tickPhase:     tickPhase,
 			lastPersisted: make(map[mapmatch.Key]float64),
 		})
 	}
 	return s, nil
+}
+
+// shardRoundOffset phases shard i's estimation rounds within the
+// interval: an even i·(interval/n) base spread plus a deterministic
+// jitter of up to a quarter-slot, keyed by the shard index, so shards
+// whose clocks advance in lockstep still never start rounds together.
+// With jitter < slot/4, any two shards' offsets stay at least
+// 0.75·(interval/n) apart, including the wrap-around pair, and every
+// offset stays inside [0, interval) as RealtimeConfig.Validate requires.
+func shardRoundOffset(i, n int, interval float64) float64 {
+	slot := interval / float64(n)
+	h := fnv.New32a()
+	fmt.Fprintf(h, "round-stagger/%d", i)
+	jitter := float64(h.Sum32()%1024) / 1024 * slot / 4
+	return float64(i)*slot + jitter
 }
 
 // Start launches the shard loops and, with a configured Store, the

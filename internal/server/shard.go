@@ -29,6 +29,11 @@ type shard struct {
 	// lastIngestWall is the wall-clock time (unix nanos) of the last
 	// batch, 0 before the first — the liveness signal /healthz reports.
 	lastIngestWall atomic.Int64
+	// tickPhase delays the loop's first wall-clock tick so the shards'
+	// idle Advance calls interleave within TickEvery instead of firing
+	// together (round stagger's wall-clock half; the stream-time half is
+	// the engine's RoundOffset).
+	tickPhase time.Duration
 	// Persistence diff state, touched only by the shard goroutine (and
 	// by Restore before Start): the engine version already persisted and
 	// each key's newest persisted WindowEnd, so every published estimate
@@ -70,8 +75,18 @@ func (sh *shard) noteMaxT(t float64) {
 // closes (graceful shutdown).
 func (sh *shard) loop(s *Server) {
 	defer s.shardWG.Done()
-	ticker := time.NewTicker(s.cfg.TickEvery)
-	defer ticker.Stop()
+	// The first tick waits tickPhase extra, offsetting this shard's tick
+	// grid from its siblings'; after it the ticker runs at the plain
+	// TickEvery cadence.
+	phase := time.NewTimer(s.cfg.TickEvery + sh.tickPhase)
+	defer phase.Stop()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	defer func() {
+		if ticker != nil {
+			ticker.Stop()
+		}
+	}()
 	for {
 		select {
 		case batch, ok := <-sh.in:
@@ -83,7 +98,12 @@ func (sh *shard) loop(s *Server) {
 			sh.ingest(s, batch)
 			sh.advance(s)
 			sh.persist(s)
-		case <-ticker.C:
+		case <-phase.C:
+			ticker = time.NewTicker(s.cfg.TickEvery)
+			tick = ticker.C
+			sh.advance(s)
+			sh.persist(s)
+		case <-tick:
 			sh.advance(s)
 			sh.persist(s)
 		}

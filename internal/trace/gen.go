@@ -137,6 +137,11 @@ type Generator struct {
 	plates    []string
 	sims      []string
 	colors    []string
+	// Stream scratch, reused across steps: the due-taxi index list and
+	// the fleet state snapshot. A megacity run streams tens of millions
+	// of records; without reuse these two dominate generation allocs.
+	due    []int
+	states []trafficsim.State
 }
 
 // NewGenerator builds a Generator over the given simulator.
@@ -256,7 +261,7 @@ func (g *Generator) Stream(until float64, fn func(Record) error) error {
 	for sim.Now() < until {
 		sim.Step()
 		now := sim.Now()
-		var due []int
+		due := g.due[:0]
 		for i := range g.nextAt {
 			if now >= g.nextAt[i] {
 				due = append(due, i)
@@ -266,10 +271,12 @@ func (g *Generator) Stream(until float64, fn func(Record) error) error {
 				}
 			}
 		}
+		g.due = due
 		if len(due) == 0 {
 			continue
 		}
-		states := sim.States()
+		states := sim.StatesInto(g.states)
+		g.states = states
 		daySec := mod86400(now)
 		for _, id := range due {
 			if g.cfg.Activity != nil && g.rng.Float64() >= g.cfg.Activity(daySec) {

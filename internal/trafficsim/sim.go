@@ -585,14 +585,26 @@ func (s *Simulator) creepForward(v *vehicle) {
 // States returns the current public snapshot of every taxi. The slice is
 // freshly allocated; callers may keep it.
 func (s *Simulator) States() []State {
-	out := make([]State, len(s.vehicles))
+	return s.StatesInto(nil)
+}
+
+// StatesInto fills dst with the current snapshot of every taxi, growing
+// it only when its capacity is short, and returns the filled slice. A
+// megacity trace generator polls the fleet every simulated second for a
+// full day; reusing one buffer removes that allocation from the
+// generation hot loop.
+func (s *Simulator) StatesInto(dst []State) []State {
+	if cap(dst) < len(s.vehicles) {
+		dst = make([]State, len(s.vehicles))
+	}
+	dst = dst[:len(s.vehicles)]
 	for i, v := range s.vehicles {
 		seg := s.cfg.Net.Segment(v.route[v.segIdx])
 		frac := 0.0
 		if l := seg.Length(); l > 0 {
 			frac = v.dist / l
 		}
-		out[i] = State{
+		dst[i] = State{
 			ID:       v.id,
 			Pos:      seg.PointAt(clamp01(frac)),
 			SpeedMS:  v.speed,
@@ -602,7 +614,7 @@ func (s *Simulator) States() []State {
 			Stopped:  v.speed == 0,
 		}
 	}
-	return out
+	return dst
 }
 
 // VehicleStats returns the accumulated statistics of taxi id.
